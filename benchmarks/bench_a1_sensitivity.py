@@ -1,0 +1,36 @@
+"""A1: sensitivity of the design choices DESIGN.md fixes by fiat.
+
+Shape requirements: a wider multicast window strictly reduces duplicate
+fetches and the default window sits near the knee; the stream chunk size
+has an interior optimum (small chunks pay per-chunk overhead, huge chunks
+serialize pipeline stages); queue depth beyond the late-binding low-water
+mark changes little.
+"""
+
+from repro.eval.experiments import a1_design_sensitivity
+
+
+def test_a1_design_sensitivity(benchmark, save_report):
+    result = benchmark.pedantic(a1_design_sensitivity, rounds=1,
+                                iterations=1)
+    save_report("A1", str(result))
+    data = result.data
+
+    fetches = data["window_fetches"]
+    assert all(a >= b for a, b in zip(fetches, fetches[1:])), \
+        "wider window must not increase fetches"
+    assert fetches[0] > fetches[-1], "coalescing must reduce fetches"
+    by_window = dict(zip(data["windows"], data["window_cycles"]))
+    assert by_window[32] < by_window[0], \
+        "coalescing window must beat no-coalescing"
+
+    chunk_cycles = data["chunk_cycles"]
+    best = chunk_cycles.index(min(chunk_cycles))
+    assert best != len(chunk_cycles) - 1, \
+        "largest chunk must not be optimal (stage serialization)"
+    assert chunk_cycles[-1] > min(chunk_cycles)
+
+    depth_cycles = data["depth_cycles"]
+    spread = (max(depth_cycles) - min(depth_cycles)) / min(depth_cycles)
+    assert spread < 0.10, \
+        f"queue depth should barely matter under late binding ({spread:.0%})"

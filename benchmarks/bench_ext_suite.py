@@ -1,0 +1,34 @@
+"""Extended-suite check: spgemm and pagerank beyond the core ten.
+
+Shape requirements: both extended workloads show large Delta wins — they
+stack extreme skew on top of large shared operands, the combination the
+mechanisms target.
+"""
+
+from repro.arch.config import default_baseline_config, default_delta_config
+from repro.eval.runner import compare
+from repro.eval.tables import format_table
+from repro.workloads import get_workload
+
+
+def run_extended():
+    rows = []
+    speedups = {}
+    for name in ("ext-spgemm", "ext-pagerank"):
+        workload = get_workload(name)
+        c = compare(workload, default_delta_config(lanes=8))
+        speedups[name] = c.speedup
+        rows.append(c.row())
+    text = format_table(
+        ["workload", "delta cyc", "static cyc", "speedup",
+         "delta CV", "static CV"],
+        rows, title="EXT: extended-suite workloads")
+    return speedups, text
+
+
+def test_extended_suite(benchmark, save_report):
+    speedups, text = benchmark.pedantic(run_extended, rounds=1,
+                                        iterations=1)
+    save_report("EXT", text)
+    assert speedups["ext-spgemm"] > 2.0
+    assert speedups["ext-pagerank"] > 2.0

@@ -1,0 +1,27 @@
+"""F10: Delta vs a software task runtime on the same datapath.
+
+Shape requirements: Delta beats the software runtime on every workload
+(it keeps the structure the runtime erased, and its task management is
+cheap); the advantage grows as tasks get finer; and the software runtime
+is roughly competitive with the *static* design overall (dynamic balance
+vs per-task overhead) — which is precisely the dilemma TaskStream breaks.
+"""
+
+from repro.eval.experiments import f10_software_runtime
+from repro.util.stats import geomean
+
+
+def test_f10_software_runtime(benchmark, save_report):
+    result = benchmark.pedantic(f10_software_runtime, rounds=1,
+                                iterations=1)
+    save_report("F10", str(result))
+    data = result.data
+    assert all(r > 1.0 for r in data["vs_software"]), \
+        "Delta must beat the software runtime everywhere"
+    assert geomean(data["vs_software"]) > 1.5
+    ratios = data["grain_ratios"]
+    assert ratios[0] > ratios[-1], \
+        "advantage must grow at finer task granularity"
+    # The software runtime is in static's ballpark overall (0.5x - 1.5x).
+    sv = geomean(data["software_vs_static"])
+    assert 0.5 < sv < 1.5, f"software/static geomean {sv:.2f} implausible"

@@ -1,0 +1,22 @@
+"""F1: the headline claim — Delta vs the equivalent static-parallel design.
+
+Paper: "our execution model can improve performance by 2.2x" over an
+equivalent static-parallel design. At this reproduction's fidelity the
+shape requirements are: Delta wins on *every* workload, the biggest wins
+come from the shared-read and skew-heavy workloads, and the geomean lands
+near 2x (it reaches ~2.2x at 16 lanes; see F3).
+"""
+
+from repro.eval.experiments import f1_headline_speedup
+from repro.eval.runner import suite_geomean
+
+
+def test_f1_headline_speedup(benchmark, save_report):
+    result = benchmark.pedantic(f1_headline_speedup, rounds=1, iterations=1)
+    save_report("F1", str(result))
+    comparisons = result.data
+    geo = suite_geomean(comparisons)
+    assert len(comparisons) == 10
+    for c in comparisons:
+        assert c.speedup > 1.0, f"{c.workload}: Delta must win ({c.speedup})"
+    assert geo > 1.7, f"geomean speedup degraded to {geo:.2f}"

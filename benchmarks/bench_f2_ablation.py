@@ -1,0 +1,32 @@
+"""F2: mechanism ablation — what each recovered structure contributes.
+
+Shape requirements: the geomean ladder rises monotonically as load
+balancing, pipelining, and multicast are enabled; load balancing matters
+most on the skew workloads (stencil-amr), pipelining on the
+dependence-structured ones (mergesort, wavefront, bfs), multicast on the
+shared-read ones (spmv, spmm, triangle).
+"""
+
+from repro.eval.experiments import ABLATION_STEPS, f2_ablation
+from repro.util.stats import geomean
+
+
+def test_f2_ablation(benchmark, save_report):
+    result = benchmark.pedantic(f2_ablation, rounds=1, iterations=1)
+    save_report("F2", str(result))
+    per_step = result.data["per_step"]
+    ladder = [geomean(per_step[label]) for label, _f in ABLATION_STEPS]
+    assert ladder == sorted(ladder), f"ablation ladder not monotone: {ladder}"
+    assert ladder[-1] / ladder[0] > 1.5, "mechanisms contribute too little"
+
+    by_workload = {row[0]: row[1:] for row in result.data["rows"]}
+
+    def step_gain(workload, step_index):
+        values = [float(v.rstrip("x")) for v in by_workload[workload]]
+        return values[step_index] / values[step_index - 1]
+
+    assert step_gain("stencil-amr", 1) > 1.3      # +lb
+    assert step_gain("mergesort", 2) > 1.2        # +pipe
+    assert step_gain("wavefront", 2) > 1.2        # +pipe
+    assert step_gain("spmv", 3) > 1.5             # +mcast
+    assert step_gain("triangle", 3) > 1.5         # +mcast

@@ -1,0 +1,24 @@
+"""F3: scaling with lane count.
+
+Shape requirements: the Delta-vs-static gap *grows* with lane count
+(static imbalance and barriers compound as lanes multiply), and static
+self-scaling saturates while Delta keeps scaling. The suite geomean
+reaches the paper's 2.2x figure at 16 lanes.
+"""
+
+from repro.eval.experiments import f3_lane_scaling
+
+
+def test_f3_lane_scaling(benchmark, save_report):
+    result = benchmark.pedantic(
+        f3_lane_scaling, rounds=1, iterations=1,
+        kwargs={"lane_counts": (2, 4, 8, 16, 32)})
+    save_report("F3", str(result))
+    data = result.data
+    speedups = data["speedup"]
+    assert speedups[-1] > speedups[0], "gap must grow with lanes"
+    assert max(speedups) >= 2.0, f"peak speedup only {max(speedups):.2f}"
+    # Static saturates: its 16->32 lane gain is smaller than Delta's.
+    d16, d32 = data["delta_scaling"][-2:]
+    s16, s32 = data["static_scaling"][-2:]
+    assert (d32 / d16) > (s32 / s16), "static should saturate first"

@@ -1,0 +1,21 @@
+"""F4: load imbalance — CV of per-lane busy cycles.
+
+Shape requirement: Delta's work-aware balancing yields a (much) lower
+busy-cycle CV than static partitioning on the skewed workloads, and never
+a materially higher one.
+"""
+
+from repro.eval.experiments import f4_load_balance
+
+
+def test_f4_load_balance(benchmark, save_report):
+    result = benchmark.pedantic(f4_load_balance, rounds=1, iterations=1)
+    save_report("F4", str(result))
+    comparisons = result.data
+    skewed = {"spmv", "spmm", "triangle", "stencil-amr", "bfs"}
+    for c in comparisons:
+        if c.workload in skewed:
+            assert c.delta.imbalance_cv < c.static.imbalance_cv, (
+                f"{c.workload}: delta CV {c.delta.imbalance_cv:.3f} not "
+                f"below static {c.static.imbalance_cv:.3f}")
+        assert c.delta.imbalance_cv < c.static.imbalance_cv + 0.05

@@ -1,0 +1,25 @@
+"""F5: DRAM traffic and structure-recovery counters.
+
+Shape requirements: large traffic reductions on the shared-read workloads
+(multicast converts per-task fetches into one), visible reductions on the
+pipelined workloads (forwarded streams skip the memory round trip), and
+no workload where Delta moves more DRAM bytes than the static design.
+"""
+
+from repro.eval.experiments import f5_traffic
+
+
+def test_f5_traffic(benchmark, save_report):
+    result = benchmark.pedantic(f5_traffic, rounds=1, iterations=1)
+    save_report("F5", str(result))
+    by_name = {c.workload: c for c in result.data}
+    for name in ("spmv", "spmm", "triangle"):
+        ratio = by_name[name].traffic_ratio
+        assert ratio > 2.0, f"{name}: shared-read reduction only {ratio:.2f}x"
+    # knn shares only its query block; the private database scan dominates.
+    for name in ("mergesort", "wavefront", "histogram", "knn"):
+        ratio = by_name[name].traffic_ratio
+        assert ratio > 1.3, f"{name}: pipelined reduction only {ratio:.2f}x"
+    for c in by_name.values():
+        assert c.traffic_ratio >= 0.99, \
+            f"{c.workload}: Delta must not add traffic"

@@ -1,0 +1,22 @@
+"""F6: task-granularity sensitivity.
+
+Shape requirements: Delta's absolute cycles form a U-curve (fine grain
+pays dispatch/config/stream-fill overhead, coarse grain rebuilds
+imbalance), while the *speedup over static* is largest at fine grain —
+static designs handle many small skewed tasks worst.
+"""
+
+from repro.eval.experiments import f6_granularity
+
+
+def test_f6_granularity(benchmark, save_report):
+    result = benchmark.pedantic(f6_granularity, rounds=1, iterations=1)
+    save_report("F6", str(result))
+    data = result.data
+    cycles = data["delta_cycles"]
+    speedups = data["speedup"]
+    best = min(range(len(cycles)), key=lambda i: cycles[i])
+    assert 0 < best < len(cycles) - 1, (
+        f"expected interior optimum, best grain index {best}")
+    assert speedups[0] > speedups[-1], \
+        "speedup should be largest at fine granularity"

@@ -1,0 +1,25 @@
+"""F7: dispatcher-policy sensitivity on the skew-heavy workloads.
+
+Shape requirement: the work-aware policy is at least as fast as every
+naive policy on every skewed workload (within 5% noise), and strictly
+faster than random everywhere.
+"""
+
+from repro.eval.experiments import POLICY_NAMES, f7_policies
+
+
+def test_f7_policies(benchmark, save_report):
+    result = benchmark.pedantic(f7_policies, rounds=1, iterations=1)
+    save_report("F7", str(result))
+    per_policy = result.data["per_policy"]
+    workload_count = len(per_policy["work-aware"])
+    for policy in POLICY_NAMES:
+        if policy == "work-aware":
+            continue
+        for i in range(workload_count):
+            relative = per_policy[policy][i]
+            assert relative <= 1.05, (
+                f"{policy} beat work-aware by {relative:.2f}x on "
+                f"workload #{i}")
+    assert all(r < 1.0 for r in per_policy["random"]), \
+        "work-aware must strictly beat random"

@@ -1,0 +1,21 @@
+"""F8: energy savings from structure recovery (extension experiment).
+
+Shape requirements: Delta saves energy on every workload (it strictly
+removes data movement and finishes earlier, so static energy drops too),
+and the savings correlate with the traffic reductions of F5.
+"""
+
+from repro.eval.experiments import f8_energy
+
+
+def test_f8_energy(benchmark, save_report):
+    result = benchmark.pedantic(f8_energy, rounds=1, iterations=1)
+    save_report("F8", str(result))
+    ratios = result.data["ratios"]
+    assert all(r > 1.0 for r in ratios), "Delta must save energy everywhere"
+    comparisons = result.data["comparisons"]
+    # The biggest energy saver should be among the big traffic savers.
+    by_energy = max(range(len(ratios)), key=lambda i: ratios[i])
+    traffic_order = sorted(range(len(comparisons)),
+                           key=lambda i: -comparisons[i].traffic_ratio)
+    assert by_energy in traffic_order[:3]

@@ -1,0 +1,22 @@
+"""F9: extension features (config affinity, prefetch) in their regimes.
+
+These are future-work-direction extensions, off by default. Shape
+requirements: each pays off clearly in its target regime — affinity slashes
+reconfigurations on a config-thrashing mix with expensive configs, and
+low-priority prefetch hides stream-fill latency on small latency-bound
+tasks without hurting demand traffic.
+"""
+
+from repro.eval.experiments import f9_extensions
+
+
+def test_f9_extensions(benchmark, save_report):
+    result = benchmark.pedantic(f9_extensions, rounds=1, iterations=1)
+    save_report("F9", str(result))
+    data = result.data
+    assert data["affinity_gain"] > 1.3, \
+        f"affinity gain only {data['affinity_gain']:.2f}x in its regime"
+    assert data["misses_after"] < data["misses_before"] / 2
+    assert data["prefetch_gain"] > 1.02, \
+        f"prefetch gain only {data['prefetch_gain']:.2f}x"
+    assert data["prefetch_used"] > 0

@@ -1,0 +1,10 @@
+"""T1: machine-configuration table (Delta and the equivalent baseline)."""
+
+from repro.eval.experiments import t1_machine_config
+
+
+def test_t1_machine_config(benchmark, save_report):
+    result = benchmark.pedantic(t1_machine_config, rounds=1, iterations=1)
+    save_report("T1", str(result))
+    labels = [row[0] for row in result.data]
+    assert "lanes" in labels and "DRAM bw" in labels

@@ -1,0 +1,10 @@
+"""T2: workload-characteristics table for the ten-workload suite."""
+
+from repro.eval.experiments import t2_workload_table
+
+
+def test_t2_workload_table(benchmark, save_report):
+    result = benchmark.pedantic(t2_workload_table, rounds=1, iterations=1)
+    save_report("T2", str(result))
+    names = {row[0] for row in result.data}
+    assert len(names) == 10, f"expected 10 workloads, got {names}"

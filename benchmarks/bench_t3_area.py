@@ -1,0 +1,31 @@
+"""T3: area overhead of the TaskStream hardware additions.
+
+Shape requirement (the paper's claim class): the task hardware — queues,
+annotation tables, the work-aware dispatcher, multicast routing state —
+is a small single-digit percentage of the accelerator.
+"""
+
+from repro.arch.config import default_delta_config
+from repro.eval.experiments import t3_area
+
+
+def test_t3_area(benchmark, save_report):
+    result = benchmark.pedantic(t3_area, rounds=1, iterations=1)
+    save_report("T3", str(result))
+    breakdown = result.data
+    assert 0.0 < breakdown.overhead_fraction < 0.10, (
+        f"TaskStream overhead {breakdown.overhead_fraction:.1%} outside "
+        f"the small-single-digit band")
+
+
+def test_t3_area_scales_with_lanes(benchmark):
+    """Overhead fraction stays bounded as the machine grows."""
+
+    def sweep():
+        from repro.arch.area import estimate_area
+
+        return [estimate_area(default_delta_config(lanes=n))
+                .overhead_fraction for n in (2, 8, 32)]
+
+    fractions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(f < 0.10 for f in fractions)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark targets.
+
+Each ``bench_*.py`` regenerates one table/figure from the paper
+reconstruction (see DESIGN.md section 6). Reports are printed and also
+written to ``results/<id>.txt`` so the artifacts survive output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """Write an experiment's rendered report under results/."""
+
+    def _save(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

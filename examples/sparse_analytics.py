@@ -1,0 +1,53 @@
+"""Sparse analytics on Delta: SpMV and triangle counting end-to-end.
+
+The scenario the paper's introduction motivates: irregular, task-parallel
+data analytics where per-task work is skewed (power-law structure) and
+tasks share large read-only operands. This example runs the two sparse
+workloads from the evaluation suite, shows where each mechanism pays, and
+demonstrates the feature flags by turning multicast off.
+
+Run:  python examples/sparse_analytics.py
+"""
+
+from repro import Delta, FeatureFlags, default_delta_config
+from repro.eval import compare
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.triangle import TriangleWorkload
+
+
+def report(comparison, title: str) -> None:
+    delta, static = comparison.delta, comparison.static
+    print(f"--- {title} ---")
+    print(f"  delta cycles   {delta.cycles:>12,.0f}")
+    print(f"  static cycles  {static.cycles:>12,.0f}")
+    print(f"  speedup        {comparison.speedup:>12.2f}x")
+    print(f"  DRAM traffic   {delta.dram_bytes / 1024:>10.1f} KiB (delta) "
+          f"vs {static.dram_bytes / 1024:,.1f} KiB (static)")
+    print(f"  multicast      {delta.counters.get('mcast.fetches'):.0f} "
+          f"fetches, {delta.counters.get('mcast.hits'):.0f} resident hits")
+
+
+def main() -> None:
+    config = default_delta_config(lanes=8)
+
+    # SpMV: skewed row blocks + every task reads the dense vector x.
+    spmv = SpmvWorkload(num_rows=256, num_cols=512, max_nnz=96)
+    report(compare(spmv, config), "SpMV (power-law rows, shared x)")
+
+    # Triangle counting: degree-skewed work + shared adjacency lists.
+    triangle = TriangleWorkload(num_vertices=256)
+    report(compare(triangle, config), "Triangle counting (shared adjacency)")
+
+    # What read-sharing recovery is worth: rerun SpMV with multicast off.
+    no_mcast = config.with_features(
+        FeatureFlags(work_aware_lb=True, pipelining=True, multicast=False))
+    result = Delta(no_mcast).run(spmv.build_program())
+    spmv.check(result.state)
+    print("--- SpMV with multicast disabled ---")
+    print(f"  delta cycles   {result.cycles:>12,.0f}")
+    print(f"  DRAM traffic   {result.dram_bytes / 1024:>10.1f} KiB "
+          f"(duplicate fetches of x are back)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""TaskStream / Delta reproduction.
+
+A Python reproduction of *TaskStream: accelerating task-parallel workloads
+by recovering program structure* (Dadu & Nowatzki, ASPLOS 2022): a task
+execution model for reconfigurable dataflow accelerators, applied to a
+cycle-approximate model of the Delta accelerator and an equivalent
+static-parallel baseline.
+
+Quick start::
+
+    from repro import Delta, StaticParallel, default_delta_config
+    from repro.workloads import get_workload
+
+    workload = get_workload("spmv")
+    delta = Delta(default_delta_config(lanes=8)).run(workload.build_program())
+    workload.check(delta.state)          # functional verification
+    print(delta.cycles, delta.dram_bytes)
+
+Public surface:
+
+- :class:`~repro.core.delta.Delta`, :class:`~repro.baseline.static.
+  StaticParallel` — the two machines.
+- :mod:`repro.arch.config` — machine configuration dataclasses.
+- :class:`~repro.core.task.TaskType` / :class:`~repro.core.program.
+  Program` + :mod:`repro.core.annotations` — the programming model.
+- :mod:`repro.workloads` — the evaluation suite and microbenchmarks.
+- :mod:`repro.eval` — experiment harness reproducing every table/figure.
+"""
+
+from repro.arch.config import (
+    DispatchConfig,
+    DramConfig,
+    FabricConfig,
+    FeatureFlags,
+    LaneConfig,
+    MachineConfig,
+    NocConfig,
+    default_baseline_config,
+    default_delta_config,
+)
+from repro.baseline import StaticParallel
+from repro.core import (
+    Delta,
+    Program,
+    ReadSpec,
+    RunResult,
+    Task,
+    TaskContext,
+    TaskType,
+    WorkHint,
+    WriteSpec,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Delta",
+    "StaticParallel",
+    "Program",
+    "Task",
+    "TaskType",
+    "TaskContext",
+    "ReadSpec",
+    "WriteSpec",
+    "WorkHint",
+    "RunResult",
+    "MachineConfig",
+    "FabricConfig",
+    "LaneConfig",
+    "NocConfig",
+    "DramConfig",
+    "DispatchConfig",
+    "FeatureFlags",
+    "default_delta_config",
+    "default_baseline_config",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Hardware substrate models for the Delta accelerator and its baseline.
+
+Subpackages model the pieces of a reconfigurable dataflow accelerator at
+cycle-approximate fidelity:
+
+- :mod:`repro.arch.config` — architecture parameter dataclasses.
+- :mod:`repro.arch.dfg` — dataflow-graph IR describing task compute.
+- :mod:`repro.arch.cgra` — the spatial fabric (grid of FUs + switches).
+- :mod:`repro.arch.mapper` — place-and-route of DFGs onto the fabric,
+  yielding the achieved initiation interval (II).
+- :mod:`repro.arch.spad` — banked scratchpad memories.
+- :mod:`repro.arch.noc` — mesh network-on-chip with multicast trees.
+- :mod:`repro.arch.dram` — main-memory bandwidth/latency model.
+- :mod:`repro.arch.stream_engine` — stream engines moving data between
+  memory, the NoC, scratchpads and the fabric.
+- :mod:`repro.arch.lane` — one accelerator lane (fabric + spad + streams).
+- :mod:`repro.arch.area` — analytical area model for the overhead table.
+"""
+
+from repro.arch.config import (
+    FabricConfig,
+    LaneConfig,
+    NocConfig,
+    DramConfig,
+    DispatchConfig,
+    MachineConfig,
+    FeatureFlags,
+)
+
+__all__ = [
+    "FabricConfig",
+    "LaneConfig",
+    "NocConfig",
+    "DramConfig",
+    "DispatchConfig",
+    "MachineConfig",
+    "FeatureFlags",
+]

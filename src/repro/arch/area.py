@@ -1,0 +1,120 @@
+"""Analytical area model for the overhead table (T3).
+
+The paper's claim is qualitative at this fidelity: the task hardware that
+TaskStream adds (task queues, dependence-annotation tables, the work-aware
+dispatcher, multicast routing state) is a small single-digit percentage of
+an accelerator lane dominated by FUs, scratchpad SRAM and stream engines.
+
+Per-structure costs below are rough 28nm-class numbers (mm^2) assembled
+from published CGRA and accelerator papers; they are inputs to a *ratio*,
+so only relative magnitudes matter. All values are exposed as dataclass
+fields so sensitivity can be explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Unit areas in mm^2 (28nm-class, order-of-magnitude calibrated)."""
+
+    alu_fu: float = 0.0016
+    mul_fu: float = 0.0060
+    mem_fu: float = 0.0030
+    switch: float = 0.0014
+    sram_per_kib: float = 0.0055
+    stream_engine: float = 0.0080
+    config_store_per_entry: float = 0.0020
+    # TaskStream additions:
+    task_queue_per_entry: float = 0.00035
+    annotation_table_per_entry: float = 0.00030
+    work_estimator: float = 0.0024
+    dispatcher_core: float = 0.0110
+    multicast_table_per_lane: float = 0.00055
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Computed areas, all in mm^2."""
+
+    lane_compute: float
+    lane_spad: float
+    lane_streams: float
+    lane_config: float
+    lanes_total: float
+    task_queues: float
+    annotation_tables: float
+    dispatcher: float
+    multicast_support: float
+    taskstream_total: float
+
+    @property
+    def machine_total(self) -> float:
+        """Baseline machine area plus TaskStream additions."""
+        return self.lanes_total + self.taskstream_total
+
+    @property
+    def overhead_fraction(self) -> float:
+        """TaskStream hardware as a fraction of the baseline machine."""
+        return self.taskstream_total / self.lanes_total
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(label, mm^2) rows for the report table."""
+        return [
+            ("lane compute (FUs + switches)", self.lane_compute),
+            ("lane scratchpad SRAM", self.lane_spad),
+            ("lane stream engines", self.lane_streams),
+            ("lane config store", self.lane_config),
+            ("all lanes (baseline total)", self.lanes_total),
+            ("task queues", self.task_queues),
+            ("annotation tables", self.annotation_tables),
+            ("work-aware dispatcher", self.dispatcher),
+            ("multicast routing state", self.multicast_support),
+            ("TaskStream additions total", self.taskstream_total),
+        ]
+
+
+def estimate_area(machine: MachineConfig,
+                  params: AreaParameters = AreaParameters()) -> AreaBreakdown:
+    """Compute the area breakdown for a machine configuration."""
+    fabric = machine.lane.fabric
+    cells = fabric.cells
+    mul_cells = round(fabric.mul_ratio * cells)
+    mem_cells = round(fabric.mem_ratio * cells)
+    alu_only = cells  # every cell has an ALU datapath
+    compute = (alu_only * params.alu_fu
+               + mul_cells * params.mul_fu
+               + mem_cells * params.mem_fu
+               + cells * params.switch)
+    spad = machine.lane.spad_bytes / 1024 * params.sram_per_kib
+    streams = ((machine.lane.input_ports + machine.lane.output_ports)
+               * params.stream_engine)
+    config = machine.lane.config_cache_entries * params.config_store_per_entry
+    lane_area = compute + spad + streams + config
+    lanes_total = lane_area * machine.lanes
+
+    task_queues = (machine.dispatch.queue_depth * machine.lanes
+                   * params.task_queue_per_entry)
+    annotation_tables = (machine.dispatch.queue_depth * machine.lanes
+                         * params.annotation_table_per_entry)
+    dispatcher = (params.dispatcher_core
+                  + machine.lanes * params.work_estimator / 8)
+    multicast = machine.lanes * params.multicast_table_per_lane
+    ts_total = task_queues + annotation_tables + dispatcher + multicast
+
+    return AreaBreakdown(
+        lane_compute=compute,
+        lane_spad=spad,
+        lane_streams=streams,
+        lane_config=config,
+        lanes_total=lanes_total,
+        task_queues=task_queues,
+        annotation_tables=annotation_tables,
+        dispatcher=dispatcher,
+        multicast_support=multicast,
+        taskstream_total=ts_total,
+    )

@@ -1,0 +1,119 @@
+"""The spatial fabric: a grid of functional units joined by switches.
+
+Each grid cell holds one functional unit (FU) and one switch. Every FU
+executes ALU-class ops; a configurable fraction additionally execute
+MUL-class ops, and another fraction MEM-class ops (stream interfaces). The
+switch network is a 4-neighbour mesh; edge routes consume switch hops.
+
+The fabric itself is purely structural — mapping DFGs onto it is the job of
+:mod:`repro.arch.mapper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import FabricConfig
+from repro.arch.dfg import FuClass
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid position with its FU capability set."""
+
+    row: int
+    col: int
+    capabilities: frozenset[FuClass]
+
+    def supports(self, fu_class: FuClass) -> bool:
+        """Whether this cell's FU can run ops of the given class."""
+        if fu_class is FuClass.NONE:
+            return True
+        return fu_class in self.capabilities
+
+    @property
+    def position(self) -> tuple[int, int]:
+        """(row, col) coordinate."""
+        return (self.row, self.col)
+
+
+class Fabric:
+    """A concrete CGRA instance built from a :class:`FabricConfig`.
+
+    Capability placement is deterministic: cells are ranked in a diagonal
+    interleave and the first ``mul_ratio`` fraction get MUL capability, the
+    first ``mem_ratio`` of a different interleave get MEM. Determinism keeps
+    mapping results (and thus all timing) reproducible for a given config.
+    """
+
+    def __init__(self, config: FabricConfig) -> None:
+        self.config = config
+        self.cells: dict[tuple[int, int], Cell] = {}
+        positions = [(r, c) for r in range(config.rows)
+                     for c in range(config.cols)]
+        n = len(positions)
+        mul_count = round(config.mul_ratio * n)
+        mem_count = round(config.mem_ratio * n)
+        # Diagonal interleaves spread capabilities across the grid.
+        mul_rank = sorted(positions, key=lambda rc: ((rc[0] + rc[1]) % 3,
+                                                     rc[0], rc[1]))
+        mem_rank = sorted(positions, key=lambda rc: ((rc[0] * 2 + rc[1]) % 5,
+                                                     rc[1], rc[0]))
+        mul_cells = set(mul_rank[:mul_count])
+        mem_cells = set(mem_rank[:mem_count])
+        for pos in positions:
+            caps = {FuClass.ALU}
+            if pos in mul_cells:
+                caps.add(FuClass.MUL)
+            if pos in mem_cells:
+                caps.add(FuClass.MEM)
+            self.cells[pos] = Cell(pos[0], pos[1], frozenset(caps))
+
+    @property
+    def positions(self) -> list[tuple[int, int]]:
+        """All cell coordinates in row-major order."""
+        return sorted(self.cells)
+
+    def cells_supporting(self, fu_class: FuClass) -> list[Cell]:
+        """Cells whose FU can execute the given class, row-major order."""
+        return [self.cells[p] for p in self.positions
+                if self.cells[p].supports(fu_class)]
+
+    def count_supporting(self, fu_class: FuClass) -> int:
+        """Number of cells supporting the class."""
+        return len(self.cells_supporting(fu_class))
+
+    def neighbors(self, pos: tuple[int, int]) -> list[tuple[int, int]]:
+        """4-neighbour mesh adjacency."""
+        row, col = pos
+        out = []
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            cand = (row + dr, col + dc)
+            if cand in self.cells:
+                out.append(cand)
+        return out
+
+    @staticmethod
+    def manhattan(a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Grid distance between two coordinates."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def resource_mii(self, op_histogram: dict[FuClass, int]) -> int:
+        """Minimum II from FU counts: ``max ceil(ops_c / fus_c)``.
+
+        Raises :class:`FabricCapacityError` if a class has demand but no
+        supporting cells at all.
+        """
+        mii = 1
+        for fu_class, demand in op_histogram.items():
+            supply = self.count_supporting(fu_class)
+            if supply == 0:
+                raise FabricCapacityError(
+                    f"fabric has no {fu_class.value} cells but the DFG "
+                    f"needs {demand}")
+            mii = max(mii, -(-demand // supply))  # ceil division
+        return mii
+
+
+class FabricCapacityError(RuntimeError):
+    """The fabric cannot host a DFG (missing capability or too few cells)."""

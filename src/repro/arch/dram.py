@@ -1,0 +1,59 @@
+"""Main-memory model: a shared bandwidth channel with a locality knob.
+
+All lanes share one DRAM channel (the usual accelerator configuration at
+this scale). A request's *effective* size is inflated by the row-locality
+penalty: fully sequential streams (locality 1.0) move at peak bandwidth,
+fully random gathers (locality 0.0) pay ``random_penalty``x. The channel is
+a FIFO server, so cross-lane bandwidth contention is emergent.
+"""
+
+from __future__ import annotations
+
+from repro.sim import BandwidthServer, Counters, Environment, Event
+from repro.sim.engine import SimulationError
+
+
+class Dram:
+    """One shared memory channel."""
+
+    def __init__(self, env: Environment, counters: Counters,
+                 bytes_per_cycle: float, latency: float,
+                 random_penalty: float) -> None:
+        if random_penalty < 1.0:
+            raise SimulationError(
+                f"random_penalty must be >= 1, got {random_penalty}")
+        self.env = env
+        self.counters = counters
+        self.channel = BandwidthServer(env, bytes_per_cycle, latency,
+                                       name="dram")
+        self.random_penalty = random_penalty
+
+    def fetch(self, nbytes: float, locality: float = 1.0) -> Event:
+        """Read ``nbytes``; ``locality`` in [0, 1] scales the row penalty."""
+        return self._request(nbytes, locality, "read")
+
+    def writeback(self, nbytes: float, locality: float = 1.0) -> Event:
+        """Write ``nbytes`` to memory."""
+        return self._request(nbytes, locality, "write")
+
+    def _request(self, nbytes: float, locality: float, kind: str) -> Event:
+        if not 0.0 <= locality <= 1.0:
+            raise SimulationError(f"locality must be in [0,1]: {locality}")
+        if nbytes < 0:
+            raise SimulationError(f"negative request size: {nbytes}")
+        penalty = self.random_penalty - (self.random_penalty - 1.0) * locality
+        effective = nbytes * penalty
+        self.counters.add(f"dram.{kind}_bytes", nbytes)
+        self.counters.add(f"dram.{kind}_effective_bytes", effective)
+        self.counters.add("dram.requests")
+        return self.channel.transfer(effective)
+
+    @property
+    def total_bytes(self) -> float:
+        """Actual data bytes moved (without penalty inflation)."""
+        return (self.counters.get("dram.read_bytes")
+                + self.counters.get("dram.write_bytes"))
+
+    def utilization(self) -> float:
+        """Channel busy fraction so far."""
+        return self.channel.utilization()

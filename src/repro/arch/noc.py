@@ -1,0 +1,181 @@
+"""Mesh network-on-chip joining lanes, memory controller, and dispatcher.
+
+Topology: the N lanes sit on a ``ceil(sqrt(N+2))``-wide 2D mesh together
+with two special nodes — the memory controller (``MEM``) and the task
+dispatcher (``DISP``). Every directed link between neighbouring mesh nodes
+is an independent fixed-rate server.
+
+Messages are wormhole-approximated at message granularity: a message
+reserves each link along its XY route in order, paying serialization on
+every link plus per-hop latency. That is pessimistic for very long
+messages (no virtual-channel overlap across links) but the stream layer
+sends chunk-sized messages, which keeps the approximation tight.
+
+**Multicast** is the NoC feature TaskStream's read-sharing recovery relies
+on: ``multicast`` charges each link of the destination *tree* once, instead
+of once per destination as repeated unicasts would.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.sim import BandwidthServer, Counters, Environment, Event
+from repro.sim.engine import SimulationError
+
+Coord = tuple[int, int]
+
+MEM_NODE = "MEM"
+DISP_NODE = "DISP"
+
+
+class Noc:
+    """The mesh interconnect."""
+
+    def __init__(self, env: Environment, counters: Counters, lanes: int,
+                 link_bytes_per_cycle: float, hop_latency: float,
+                 header_bytes: int, multicast_enabled: bool) -> None:
+        if lanes < 1:
+            raise SimulationError("NoC needs at least one lane")
+        self.env = env
+        self.counters = counters
+        self.hop_latency = hop_latency
+        self.header_bytes = header_bytes
+        self.multicast_enabled = multicast_enabled
+
+        side = max(2, math.ceil(math.sqrt(lanes + 2)))
+        self.side = side
+        # Node placement: MEM at top-left, DISP next to it, lanes after.
+        coords: dict[str, Coord] = {MEM_NODE: (0, 0), DISP_NODE: (0, 1)}
+        positions = [(r, c) for r in range(side) for c in range(side)]
+        free = [p for p in positions if p not in ((0, 0), (0, 1))]
+        for lane_id in range(lanes):
+            coords[f"lane{lane_id}"] = free[lane_id]
+        self.coords = coords
+
+        self._links: dict[tuple[Coord, Coord], BandwidthServer] = {}
+        for r in range(side):
+            for c in range(side):
+                for dr, dc in ((0, 1), (1, 0)):
+                    a, b = (r, c), (r + dr, c + dc)
+                    if b[0] < side and b[1] < side:
+                        self._links[(a, b)] = BandwidthServer(
+                            env, link_bytes_per_cycle,
+                            name=f"noc.link{a}-{b}")
+                        self._links[(b, a)] = BandwidthServer(
+                            env, link_bytes_per_cycle,
+                            name=f"noc.link{b}-{a}")
+
+    # -- routing -----------------------------------------------------------
+
+    def node_coord(self, node: str) -> Coord:
+        """Mesh coordinate of a named endpoint (``lane3``, ``MEM``, ...)."""
+        try:
+            return self.coords[node]
+        except KeyError:
+            raise SimulationError(f"unknown NoC node {node!r}") from None
+
+    def route(self, src: str, dst: str) -> list[Coord]:
+        """Deterministic XY route (X first, then Y) between two nodes."""
+        a, b = self.node_coord(src), self.node_coord(dst)
+        path = [a]
+        r, c = a
+        while c != b[1]:
+            c += 1 if b[1] > c else -1
+            path.append((r, c))
+        while r != b[0]:
+            r += 1 if b[0] > r else -1
+            path.append((r, c))
+        return path
+
+    def hops(self, src: str, dst: str) -> int:
+        """Number of links on the route."""
+        return len(self.route(src, dst)) - 1
+
+    # -- transfers ---------------------------------------------------------
+
+    def unicast(self, src: str, dst: str, nbytes: float) -> Event:
+        """Send one message; returns an event firing on delivery."""
+        path = self.route(src, dst)
+        return self._send_along(path, nbytes)
+
+    def multicast(self, src: str, dsts: Sequence[str],
+                  nbytes: float) -> Event:
+        """Send one payload to many destinations.
+
+        With multicast hardware, the payload traverses each link of the
+        union-of-routes tree exactly once. Without it, falls back to
+        repeated unicasts (and the counters show the difference).
+        """
+        dsts = list(dict.fromkeys(dsts))  # dedupe, keep order
+        if not dsts:
+            raise SimulationError("multicast with no destinations")
+        if len(dsts) == 1 or not self.multicast_enabled:
+            events = [self.unicast(src, d, nbytes) for d in dsts]
+            return self.env.all_of(events)
+
+        tree_links: list[tuple[Coord, Coord]] = []
+        seen: set[tuple[Coord, Coord]] = set()
+        max_hops = 0
+        for dst in dsts:
+            path = self.route(src, dst)
+            max_hops = max(max_hops, len(path) - 1)
+            for link in zip(path, path[1:]):
+                if link not in seen:
+                    seen.add(link)
+                    tree_links.append(link)
+        payload = nbytes + self.header_bytes
+        events = []
+        for link in tree_links:
+            self.counters.add("noc.bytes", payload)
+            self.counters.add("noc.multicast_link_bytes", payload)
+            events.append(self._links[link].transfer(payload))
+        self.counters.add("noc.multicasts")
+        done = self.env.event(name="multicast-delivery")
+        tail = self.env.all_of(events)
+
+        def after(_ev: Event) -> None:
+            # Per-hop latency to the farthest leaf.
+            self.env.timeout(self.hop_latency * max_hops).add_callback(
+                lambda _t: done.succeed())
+
+        tail.add_callback(after)
+        return done
+
+    def _send_along(self, path: list[Coord], nbytes: float) -> Event:
+        payload = nbytes + self.header_bytes
+        hops = len(path) - 1
+        if hops == 0:
+            return self.env.timeout(0)
+        events = []
+        for link in zip(path, path[1:]):
+            self.counters.add("noc.bytes", payload)
+            events.append(self._links[link].transfer(payload))
+        self.counters.add("noc.messages")
+        done = self.env.event(name="unicast-delivery")
+        tail = self.env.all_of(events)
+
+        def after(_ev: Event) -> None:
+            self.env.timeout(self.hop_latency * hops).add_callback(
+                lambda _t: done.succeed())
+
+        tail.add_callback(after)
+        return done
+
+    # -- reporting ---------------------------------------------------------
+
+    def total_bytes(self) -> float:
+        """Total link-bytes moved (each hop counts)."""
+        return self.counters.get("noc.bytes")
+
+    def peak_link_utilization(self) -> float:
+        """Busy fraction of the most loaded link."""
+        if not self._links:
+            return 0.0
+        return max(l.utilization() for l in self._links.values())
+
+    def lane_names(self) -> list[str]:
+        """All lane endpoint names in id order."""
+        return sorted((n for n in self.coords if n.startswith("lane")),
+                      key=lambda s: int(s[4:]))

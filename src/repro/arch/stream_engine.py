@@ -1,0 +1,198 @@
+"""Stream engines: the data movers between DRAM, NoC, scratchpad and fabric.
+
+A *stream* is a bulk transfer broken into chunks. Chunks flow through the
+stage pipeline (DRAM channel -> NoC links -> scratchpad banks), and each
+stage is a FIFO bandwidth server, so the stream's steady-state rate is set
+by the slowest stage while other streams contend naturally.
+
+Pipelining is modeled by decoupling issue from delivery: the pump process
+waits for the DRAM stage of chunk *k*, then hands the downstream stages to
+a detached delivery process and immediately issues chunk *k+1*. In-flight
+chunks are bounded by a credit :class:`~repro.sim.Resource`, so downstream
+backpressure (a slow consumer of ``dest_store``) throttles DRAM issue —
+exactly the behaviour hardware credit-based streams have.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from repro.arch.dram import Dram
+from repro.arch.noc import MEM_NODE, Noc
+from repro.arch.spad import Scratchpad
+from repro.sim import Counters, Environment, Process, Resource, Store
+
+
+class StreamEngine:
+    """All stream data movement for one lane."""
+
+    def __init__(self, env: Environment, counters: Counters, lane_name: str,
+                 noc: Noc, dram: Dram, spad: Scratchpad, chunk_bytes: int,
+                 max_inflight_chunks: int = 4) -> None:
+        self.env = env
+        self.counters = counters
+        self.lane_name = lane_name
+        self.noc = noc
+        self.dram = dram
+        self.spad = spad
+        self.chunk_bytes = chunk_bytes
+        self.max_inflight_chunks = max_inflight_chunks
+
+    # -- helpers -----------------------------------------------------------
+
+    def chunks_of(self, nbytes: float) -> list[int]:
+        """Split a transfer into chunk sizes (last chunk may be short)."""
+        if nbytes <= 0:
+            return []
+        full = int(nbytes // self.chunk_bytes)
+        sizes = [self.chunk_bytes] * full
+        rem = int(nbytes - full * self.chunk_bytes)
+        if rem:
+            sizes.append(rem)
+        return sizes
+
+    def chunk_count(self, nbytes: float) -> int:
+        """Number of chunks for a transfer of ``nbytes``."""
+        return max(0, math.ceil(nbytes / self.chunk_bytes)) if nbytes > 0 else 0
+
+    # -- memory -> lane ----------------------------------------------------
+
+    def stream_in(self, nbytes: float, locality: float = 1.0,
+                  dest_store: Optional[Store] = None,
+                  close_dest: bool = False) -> Process:
+        """Stream ``nbytes`` from DRAM into this lane's scratchpad.
+
+        If ``dest_store`` is given, a token is put per delivered chunk so a
+        compute process can consume data as it arrives. The returned
+        process completes when the final chunk has landed.
+        """
+        return self.env.process(
+            self._pump_from_dram(nbytes, locality, dest_store, close_dest),
+            name=f"{self.lane_name}.stream_in")
+
+    def _pump_from_dram(self, nbytes: float, locality: float,
+                        dest_store: Optional[Store], close_dest: bool,
+                        ) -> Generator:
+        credits = Resource(self.env, self.max_inflight_chunks,
+                           name=f"{self.lane_name}.in_credits")
+        tails = []
+        for size in self.chunks_of(nbytes):
+            yield credits.acquire()
+            yield self.dram.fetch(size, locality)
+            tails.append(self.env.process(
+                self._deliver_chunk(size, dest_store, credits)))
+        yield self.env.all_of(tails)
+        self.counters.add(f"{self.lane_name}.stream_in_bytes", nbytes)
+        if dest_store is not None and close_dest:
+            dest_store.close()
+
+    def _deliver_chunk(self, size: int, dest_store: Optional[Store],
+                       credits: Resource) -> Generator:
+        yield self.noc.unicast(MEM_NODE, self.lane_name, size)
+        yield self.spad.access(size, is_write=True)
+        if dest_store is not None:
+            yield dest_store.put(size)
+        credits.release()
+
+    # -- resident scratchpad data -> fabric --------------------------------
+
+    def read_resident(self, nbytes: float,
+                      dest_store: Optional[Store] = None,
+                      close_dest: bool = False) -> Process:
+        """Feed on-chip (multicast-resident) data to the fabric.
+
+        No DRAM or NoC traffic — only scratchpad bank reads. This is the
+        payoff of read-sharing recovery.
+        """
+        return self.env.process(
+            self._pump_resident(nbytes, dest_store, close_dest),
+            name=f"{self.lane_name}.read_resident")
+
+    def _pump_resident(self, nbytes: float, dest_store: Optional[Store],
+                       close_dest: bool) -> Generator:
+        for size in self.chunks_of(nbytes):
+            yield self.spad.access(size, is_write=False)
+            if dest_store is not None:
+                yield dest_store.put(size)
+        self.counters.add(f"{self.lane_name}.resident_read_bytes", nbytes)
+        if dest_store is not None and close_dest:
+            dest_store.close()
+
+    # -- lane -> memory ----------------------------------------------------
+
+    def stream_out(self, nbytes: float, locality: float = 1.0,
+                   src_store: Optional[Store] = None) -> Process:
+        """Stream ``nbytes`` of results back to DRAM.
+
+        With ``src_store``, chunks are drained as compute produces them
+        (tokens put by the compute process); otherwise the whole transfer
+        is issued immediately (end-of-task writeback).
+        """
+        return self.env.process(
+            self._pump_to_dram(nbytes, locality, src_store),
+            name=f"{self.lane_name}.stream_out")
+
+    def _pump_to_dram(self, nbytes: float, locality: float,
+                      src_store: Optional[Store]) -> Generator:
+        if src_store is None:
+            for size in self.chunks_of(nbytes):
+                yield from self._writeback_chunk(size, locality)
+        else:
+            # Consume *every* compute token (or the producer would block on
+            # a full store), writing back at most ``nbytes`` total; any
+            # bytes left after the stream closes go out as a trailing burst.
+            remaining = float(nbytes)
+            while True:
+                token = yield src_store.get()
+                if token is Store.END:
+                    break
+                size = min(self.chunk_bytes, remaining)
+                if size > 0:
+                    yield from self._writeback_chunk(size, locality)
+                    remaining -= size
+            while remaining > 0:
+                size = min(self.chunk_bytes, remaining)
+                yield from self._writeback_chunk(size, locality)
+                remaining -= size
+        self.counters.add(f"{self.lane_name}.stream_out_bytes", nbytes)
+
+    def _writeback_chunk(self, size: float, locality: float) -> Generator:
+        yield self.spad.access(size, is_write=False)
+        yield self.noc.unicast(self.lane_name, MEM_NODE, size)
+        yield self.dram.writeback(size, locality)
+
+    # -- lane -> lane (pipelined inter-task dependences) --------------------
+
+    def forward(self, dst_lane: str, nbytes: float,
+                src_store: Store, dest_store: Store,
+                close_dest: bool = True) -> Process:
+        """Forward a produced stream directly to a consumer lane.
+
+        Used when TaskStream recovers a pipelined inter-task dependence:
+        the producer's output bypasses DRAM entirely and lands in the
+        consumer's scratchpad, chunk by chunk, with backpressure carried
+        through the bounded stores.
+        """
+        return self.env.process(
+            self._pump_forward(dst_lane, nbytes, src_store, dest_store,
+                               close_dest),
+            name=f"{self.lane_name}->{dst_lane}.forward")
+
+    def _pump_forward(self, dst_lane: str, nbytes: float, src_store: Store,
+                      dest_store: Store, close_dest: bool) -> Generator:
+        moved = 0.0
+        while True:
+            token = yield src_store.get()
+            if token is Store.END:
+                break
+            size = token if isinstance(token, (int, float)) else self.chunk_bytes
+            yield self.spad.access(size, is_write=False)
+            if dst_lane != self.lane_name:
+                yield self.noc.unicast(self.lane_name, dst_lane, size)
+            yield dest_store.put(size)
+            moved += size
+        self.counters.add(f"{self.lane_name}.forward_bytes", moved)
+        self.counters.add("noc.forwarded_stream_bytes", moved)
+        if close_dest:
+            dest_store.close()

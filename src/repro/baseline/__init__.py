@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+- :class:`StaticParallel` — the equivalent static-parallel design (the
+  paper's primary comparison): identical datapath, static partitioning,
+  barriers, no task hardware.
+- :class:`SoftwareRuntime` — a software task runtime on the same datapath
+  (the motivation comparison): dynamic work stealing with software
+  dispatch costs, and none of the recovered structure.
+"""
+
+from repro.baseline.static import StaticParallel
+from repro.baseline.software import SoftwareRuntime
+
+__all__ = ["StaticParallel", "SoftwareRuntime"]

@@ -1,0 +1,188 @@
+"""The static-parallel baseline: same datapath, no task hardware.
+
+This models how the same program runs on an *equivalent static-parallel
+design* — identical lanes, scratchpads, NoC and DRAM, but:
+
+- work is partitioned **statically** (block or cyclic split of each phase's
+  task list, oblivious to per-task work);
+- phases are separated by **barriers** (phase *k+1* starts only when every
+  lane has finished phase *k*), so producer→consumer parallelism across
+  phases is impossible;
+- every task fetches its own inputs — shared regions are fetched once *per
+  task* (no multicast), and inter-task data always takes the
+  DRAM round trip (producer writes, consumer re-reads).
+
+The task set itself is identical to what Delta executes (obtained by
+functionally expanding the same program), which is what makes the
+comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.arch.config import MachineConfig
+from repro.arch.dram import Dram
+from repro.arch.lane import Lane
+from repro.arch.mapper import Mapper
+from repro.arch.noc import Noc
+from repro.core.program import (
+    ExpandedProgram,
+    Program,
+    expand_program,
+    partition_block,
+    partition_cyclic,
+)
+from repro.core.delta import ExecutionStalled
+from repro.core.result import RunResult
+from repro.core.task import Task
+from repro.sim import Counters, Environment, Store
+from repro.sim.trace import NullTracer, Tracer
+
+
+class StaticParallel:
+    """Simulator for the static-parallel baseline."""
+
+    def __init__(self, config: MachineConfig,
+                 partition: str = "block") -> None:
+        if partition not in ("block", "cyclic"):
+            raise ValueError(f"partition must be block|cyclic: {partition}")
+        self.config = config
+        self.partition = partition
+
+    def run(self, program: Program,
+            max_cycles: Optional[float] = None,
+            trace: bool = False) -> RunResult:
+        """Expand the program, statically schedule it, and simulate."""
+        expanded = expand_program(program)
+        runner = _StaticRun(self.config, expanded, self.partition,
+                            Tracer() if trace else NullTracer())
+        return runner.run(max_cycles)
+
+
+class _StaticRun:
+    """One simulation run of the static schedule."""
+
+    def __init__(self, config: MachineConfig, expanded: ExpandedProgram,
+                 partition: str, tracer: Optional[Tracer] = None) -> None:
+        self.config = config
+        self.expanded = expanded
+        self.partition = partition
+        self.tracer = tracer or NullTracer()
+        self.env = Environment()
+        self.counters = Counters()
+        self.noc = Noc(self.env, self.counters, config.lanes,
+                       config.noc.link_bytes_per_cycle,
+                       config.noc.hop_latency, config.noc.header_bytes,
+                       multicast_enabled=False)
+        self.dram = Dram(self.env, self.counters,
+                         config.dram.bytes_per_cycle, config.dram.latency,
+                         config.dram.random_penalty)
+        mapper = Mapper(config.lane.fabric, seed=config.seed)
+        self.lanes = [
+            Lane(self.env, self.counters, i, config.lane, self.noc,
+                 self.dram, mapper, element_bytes=config.element_bytes)
+            for i in range(config.lanes)
+        ]
+        self._tasks_executed = 0
+
+    def run(self, max_cycles: Optional[float]) -> RunResult:
+        """Run the phase schedule to completion and collect results."""
+        done = self.env.process(self._main(), name="static-main")
+        self.env.run(until=max_cycles)
+        if not done.triggered:
+            raise ExecutionStalled(
+                f"static run of {self.expanded.program.name!r} did not "
+                f"finish by cycle {self.env.now:,.0f}")
+        return RunResult(
+            machine="static",
+            program_name=self.expanded.program.name,
+            config=self.config,
+            cycles=self.env.now,
+            tasks_executed=self._tasks_executed,
+            counters=self.counters,
+            lane_busy=[lane.busy_cycles for lane in self.lanes],
+            state=self.expanded.program.state,
+            trace=self.tracer if self.tracer.enabled else None,
+        )
+
+    def _main(self) -> Generator:
+        split = (partition_block if self.partition == "block"
+                 else partition_cyclic)
+        for phase_index, phase in enumerate(self.expanded.phases):
+            if not phase:
+                continue
+            assignments = split(phase, self.config.lanes)
+            workers = []
+            for lane, tasks in zip(self.lanes, assignments):
+                if tasks:
+                    workers.append(self.env.process(
+                        self._lane_phase(lane, tasks),
+                        name=f"static:{lane.name}:p{phase_index}"))
+            # The barrier: every lane finishes before the next phase.
+            phase_start = self.env.now
+            yield self.env.all_of(workers)
+            self.counters.add("static.barriers")
+            self.tracer.span("phase", f"phase{phase_index}", "machine",
+                             phase_start, self.env.now,
+                             tasks=len(phase))
+
+    def _lane_phase(self, lane: Lane, tasks: list[Task]) -> Generator:
+        for task in tasks:
+            task.lane_id = lane.lane_id
+            yield from self._execute(lane, task)
+
+    def _execute(self, lane: Lane, task: Task) -> Generator:
+        t_begin = self.env.now
+        mapping = yield from lane.configure(task.type.dfg)
+        self.counters.add(f"tasks.{task.type.name}")
+
+        procs = []
+        in_streams: list[tuple[Store, int]] = []
+        chunks_of = lane.streams.chunk_count
+        for spec in task.reads:
+            store = Store(self.env, capacity=8, name=f"{task.name}.in")
+            if spec.shared:
+                # No multicast: every task pays its own fetch.
+                self.counters.add("static.duplicate_shared_bytes",
+                                  spec.nbytes)
+            procs.append(lane.streams.stream_in(
+                spec.nbytes, spec.locality, dest_store=store,
+                close_dest=True))
+            in_streams.append((store, chunks_of(spec.nbytes)))
+        for producer in task.stream_from:
+            # Inter-task data always round-trips through DRAM.
+            nbytes = producer.write_bytes
+            if nbytes > 0:
+                store = Store(self.env, capacity=8, name=f"{task.name}.dep")
+                procs.append(lane.streams.stream_in(
+                    nbytes, 1.0, dest_store=store, close_dest=True))
+                in_streams.append((store, chunks_of(nbytes)))
+
+        out_stores: list[Store] = []
+        write_bytes = task.write_bytes
+        if write_bytes > 0:
+            out = Store(self.env, capacity=8, name=f"{task.name}.out")
+            out_stores.append(out)
+            locality = task.writes[0].locality if task.writes else 1.0
+            procs.append(lane.streams.stream_out(
+                write_bytes, locality, src_store=out))
+
+        compute = self.env.process(
+            lane.run_pipeline(mapping, task.trips, in_streams, out_stores),
+            name=f"compute:{task.name}")
+        yield compute
+        drains = [self.env.process(self._drain(store))
+                  for store, _total in in_streams
+                  if not (store.closed and store.level == 0)]
+        yield self.env.all_of(procs + drains)
+        self.tracer.span("task", task.name, lane.name, t_begin,
+                         self.env.now, type=task.type.name)
+        self._tasks_executed += 1
+        task.completed = True
+
+    def _drain(self, store: Store) -> Generator:
+        while True:
+            token = yield store.get()
+            if token is Store.END:
+                return

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``                      — available workloads and experiments.
+- ``run WORKLOAD``              — simulate one workload on Delta (options
+  for lanes, policy, machine, tracing, feature ablation).
+- ``compare WORKLOAD``          — Delta vs the static baseline.
+- ``suite``                     — the full evaluation suite (F1 data).
+- ``experiment ID``             — run one experiment (T1..T3, F1..F10, A1).
+- ``show WORKLOAD``             — DOT / ASCII views of a workload's task
+  graph and kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.arch.config import (
+    FeatureFlags,
+    default_baseline_config,
+    default_delta_config,
+)
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta
+from repro.eval.experiments import ALL_EXPERIMENTS
+from repro.eval.runner import compare as run_compare
+from repro.eval.runner import run_suite, suite_geomean
+from repro.eval.tables import format_table
+from repro.workloads import get_workload
+from repro.workloads.registry import workload_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TaskStream/Delta reproduction — simulate task-parallel "
+                    "workloads on a reconfigurable dataflow accelerator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments")
+
+    def _add_machine_options(p):
+        p.add_argument("--lanes", type=int, default=8,
+                       help="number of accelerator lanes (default 8)")
+        p.add_argument("--policy", default="work-aware",
+                       choices=["work-aware", "round-robin", "random",
+                                "steal"],
+                       help="dispatch policy")
+        p.add_argument("--no-lb", action="store_true",
+                       help="disable work-aware load balancing")
+        p.add_argument("--no-pipe", action="store_true",
+                       help="disable pipelined inter-task streams")
+        p.add_argument("--no-mcast", action="store_true",
+                       help="disable multicast read sharing")
+        p.add_argument("--affinity", action="store_true",
+                       help="enable the config-affinity extension")
+        p.add_argument("--prefetch", action="store_true",
+                       help="enable the stream-prefetch extension")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="simulate a workload on Delta")
+    p_run.add_argument("workload", help="workload name (see `repro list`)")
+    _add_machine_options(p_run)
+    p_run.add_argument("--machine", default="delta",
+                       choices=["delta", "static"])
+    p_run.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace JSON of the run")
+    p_run.add_argument("--counters", action="store_true",
+                       help="dump all hardware counters")
+
+    p_cmp = sub.add_parser("compare",
+                           help="Delta vs the static-parallel baseline")
+    p_cmp.add_argument("workload")
+    _add_machine_options(p_cmp)
+
+    p_suite = sub.add_parser("suite", help="run the full evaluation suite")
+    p_suite.add_argument("--lanes", type=int, default=8)
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("experiment_id",
+                       help="T1, T2, T3, F1..F10 or A1 "
+                            "(case-insensitive)")
+
+    p_show = sub.add_parser("show", help="render a workload's structure")
+    p_show.add_argument("workload")
+    p_show.add_argument("--what", default="tasks",
+                        choices=["tasks", "dfg", "mapping"],
+                        help="task graph DOT, kernel DFG DOT, or the "
+                             "fabric placement")
+    return parser
+
+
+def _features(args) -> FeatureFlags:
+    return FeatureFlags(
+        work_aware_lb=not args.no_lb,
+        pipelining=not args.no_pipe,
+        multicast=not args.no_mcast,
+        config_affinity=args.affinity,
+        prefetch=args.prefetch,
+    )
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("experiments:")
+    for eid, fn in ALL_EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {eid:<3} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = get_workload(args.workload)
+    program = workload.build_program()
+    if args.machine == "delta":
+        config = default_delta_config(lanes=args.lanes, seed=args.seed,
+                                      features=_features(args))
+        config = config.with_policy(args.policy)
+        result = Delta(config).run(program, trace=bool(args.trace))
+    else:
+        config = default_baseline_config(lanes=args.lanes, seed=args.seed)
+        result = StaticParallel(config).run(program,
+                                            trace=bool(args.trace))
+    workload.check(result.state)
+    print(result.summary())
+    print(f"functional check: OK (verified against the reference "
+          f"implementation)")
+    if args.counters:
+        print(result.counters.render())
+    if args.trace:
+        result.trace.write_chrome_trace(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(result.trace.events)} events)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = get_workload(args.workload)
+    delta_cfg = default_delta_config(lanes=args.lanes, seed=args.seed,
+                                     features=_features(args))
+    delta_cfg = delta_cfg.with_policy(args.policy)
+    comparison = run_compare(workload, delta_cfg)
+    print(comparison.delta.summary())
+    print(comparison.static.summary())
+    print(f"speedup {comparison.speedup:.2f}x, "
+          f"DRAM traffic reduction {comparison.traffic_ratio:.2f}x")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    comparisons = run_suite(lanes=args.lanes)
+    rows = [c.row() for c in comparisons]
+    print(format_table(
+        ["workload", "delta cyc", "static cyc", "speedup",
+         "delta CV", "static CV"], rows,
+        title=f"evaluation suite ({args.lanes} lanes)"))
+    print(f"geomean speedup: {suite_geomean(comparisons):.2f}x")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    eid = args.experiment_id.upper()
+    fn = ALL_EXPERIMENTS.get(eid)
+    if fn is None:
+        print(f"unknown experiment {eid!r}; known: "
+              f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    print(fn())
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from repro.arch.mapper import Mapper
+    from repro.core.program import expand_program
+    from repro.core.visualize import dfg_dot, mapping_ascii, task_graph_dot
+
+    workload = get_workload(args.workload)
+    program = workload.build_program()
+    if args.what == "tasks":
+        print(task_graph_dot(expand_program(program)))
+        return 0
+    # One rendering per distinct kernel DFG in the program.
+    expanded = expand_program(program)
+    seen = {}
+    for task in expanded.tasks:
+        seen.setdefault(task.type.dfg.signature(), task.type.dfg)
+    for dfg in seen.values():
+        if args.what == "dfg":
+            print(dfg_dot(dfg))
+        else:
+            mapper = Mapper(default_delta_config().lane.fabric)
+            print(mapping_ascii(dfg, mapper.map(dfg)))
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    User errors (unknown workload, invalid configuration) print one clean
+    line and return exit code 2; only internal errors raise.
+    """
+    from repro.util.validate import ConfigError
+
+    args = _build_parser().parse_args(argv)
+    commands = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "suite": _cmd_suite,
+        "experiment": _cmd_experiment,
+        "show": _cmd_show,
+    }
+    handler = commands[args.command]
+    try:
+        if args.command == "list":
+            return handler()
+        return handler(args)
+    except (KeyError, ConfigError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro {args.command}: error: {message}", file=sys.stderr)
+        return 2

@@ -1,0 +1,37 @@
+"""TaskStream: the paper's task execution model, applied as Delta.
+
+This package is the paper's primary contribution:
+
+- :mod:`repro.core.annotations` — dependence annotations that make
+  inter-task structure recoverable (read specs, shared-read regions,
+  stream dependences, work hints).
+- :mod:`repro.core.task` — task types and task instances; tasks are
+  first-class objects with annotated arguments.
+- :mod:`repro.core.program` — a task-parallel program: task-type registry,
+  shared functional state, and the initial task set.
+- :mod:`repro.core.dispatcher` — the hardware task dispatcher implementing
+  work-aware load balancing (plus the comparison policies).
+- :mod:`repro.core.multicast` — recovery of inter-task read sharing:
+  coalesces SharedRead regions across tasks and multicasts one fetch.
+- :mod:`repro.core.delta` — the Delta accelerator: lanes + dispatcher +
+  multicast manager + pipelined inter-task streams.
+- :mod:`repro.core.result` — run results consumed by the eval harness.
+"""
+
+from repro.core.annotations import ReadSpec, WriteSpec, WorkHint
+from repro.core.task import Task, TaskType, TaskContext
+from repro.core.program import Program
+from repro.core.result import RunResult
+from repro.core.delta import Delta
+
+__all__ = [
+    "ReadSpec",
+    "WriteSpec",
+    "WorkHint",
+    "Task",
+    "TaskType",
+    "TaskContext",
+    "Program",
+    "RunResult",
+    "Delta",
+]

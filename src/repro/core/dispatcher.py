@@ -1,0 +1,306 @@
+"""The hardware task dispatcher: readiness tracking plus lane selection.
+
+TaskStream makes the dispatcher a first-class hardware structure. It does
+three things:
+
+1. **Readiness tracking.** A task with ``after`` dependences becomes ready
+   when they complete. A task with ``stream_from`` dependences becomes
+   ready when its producers have *started* (pipelining enabled — consumer
+   and producer overlap) or *completed* (pipelining disabled — the stream
+   degrades to a memory round trip).
+2. **Lane selection.** The TaskStream policy is *work-aware least-loaded*:
+   enqueue to the lane with the smallest sum of outstanding work estimates
+   (WorkHint annotations). Comparison policies: round-robin (task-count
+   balancing), random, and work stealing.
+3. **Dispatch serialization.** One task dispatches every
+   ``dispatch_cycles`` — the hardware dispatch port is a finite resource,
+   which is what makes very fine task granularity expensive (figure F6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.config import DispatchConfig, FeatureFlags
+from repro.core.task import Task
+from repro.sim import Counters, Environment, Event, Store
+from repro.util.rng import DeterministicRng
+
+
+class Dispatcher:
+    """Readiness tracking + policy-driven lane queues."""
+
+    def __init__(self, env: Environment, counters: Counters,
+                 config: DispatchConfig, lanes: int,
+                 features: FeatureFlags, rng: DeterministicRng) -> None:
+        self.env = env
+        self.counters = counters
+        self.config = config
+        self.num_lanes = lanes
+        self.features = features
+        self.rng = rng
+
+        self.queues: list[Store] = [
+            Store(env, config.queue_depth, name=f"dispatch.q{i}")
+            for i in range(lanes)
+        ]
+        #: Estimated outstanding work per lane (queued + running).
+        self.pending_work: list[float] = [0.0] * lanes
+        #: Count of queued tasks per lane (for steal/round-robin stats).
+        self.pending_count: list[int] = [0] * lanes
+
+        #: Last DFG signature dispatched to each lane — the configuration
+        #: the lane will hold when it reaches this point of its queue. Used
+        #: by the ``config_affinity`` extension.
+        self._last_dfg: dict[int, tuple] = {}
+        #: How much extra load (work units) a configured lane may carry and
+        #: still win the affinity tie-break. The machine sets this to its
+        #: reconfiguration cost — the break-even point.
+        self.affinity_window: float = config.work_overhead
+        #: Ready tasks awaiting dispatch. Work-aware mode treats this as a
+        #: priority pool ordered by work hint (largest first — LPT); the
+        #: naive policies drain it FIFO.
+        self._pool: list[Task] = []
+        self._wake: Optional[Event] = None
+        self._rr_next = 0
+        self._outstanding = 0
+        self._drained = env.event(name="dispatch.drained")
+        self._started_events: dict[int, Event] = {}
+        self._completed_events: dict[int, Event] = {}
+        env.process(self._dispatch_loop(), name="dispatcher")
+
+    # -- events -------------------------------------------------------------
+
+    def started_event(self, task: Task) -> Event:
+        """Event fired when ``task`` begins executing on a lane."""
+        ev = self._started_events.get(task.task_id)
+        if ev is None:
+            ev = self.env.event(name=f"started:{task.name}")
+            self._started_events[task.task_id] = ev
+            if task.started:
+                ev.succeed(task)
+        return ev
+
+    def completed_event(self, task: Task) -> Event:
+        """Event fired when ``task`` finishes executing."""
+        ev = self._completed_events.get(task.task_id)
+        if ev is None:
+            ev = self.env.event(name=f"completed:{task.name}")
+            self._completed_events[task.task_id] = ev
+            if task.completed:
+                ev.succeed(task)
+        return ev
+
+    @property
+    def drained(self) -> Event:
+        """Event fired when every submitted task has completed."""
+        return self._drained
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks submitted but not yet completed."""
+        return self._outstanding
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, task: Task) -> None:
+        """Register a task; it dispatches once its dependences allow."""
+        self._outstanding += 1
+        self.counters.add("dispatch.submitted")
+        waits: list[Event] = []
+        for dep in task.after:
+            if not dep.completed:
+                waits.append(self.completed_event(dep))
+        for producer in task.stream_from:
+            if self.features.pipelining:
+                if not producer.started:
+                    waits.append(self.started_event(producer))
+            else:
+                if not producer.completed:
+                    waits.append(self.completed_event(producer))
+        if not waits:
+            self._make_ready(task)
+            return
+        gate = self.env.all_of(waits)
+        gate.add_callback(lambda _ev, t=task: self._make_ready(t))
+
+    def _make_ready(self, task: Task) -> None:
+        self._pool.append(task)
+        self.kick()
+
+    def kick(self) -> None:
+        """Wake the dispatch loop (new ready task or a freed queue slot).
+
+        Lane workers also call this right after popping a task, so the
+        freed queue slot is re-fillable immediately.
+        """
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    @property
+    def _work_aware(self) -> bool:
+        return (self.config.policy == "work-aware"
+                and self.features.work_aware_lb)
+
+    # -- dispatch loop ----------------------------------------------------------
+
+    #: Work-aware mode binds a task to a lane only when that lane's queue
+    #: is nearly empty. Late binding is what lets the dispatcher place the
+    #: *largest* remaining task on the least-loaded lane (LPT) instead of
+    #: committing everything in arrival order at time zero.
+    LOW_WATER = 2
+
+    def _dispatch_loop(self):
+        while True:
+            picked = self._pick()
+            if picked is None:
+                self._wake = self.env.event(name="dispatch.wake")
+                yield self._wake
+                self._wake = None
+                continue
+            task, lane = picked
+            if self.config.dispatch_cycles:
+                yield self.env.timeout(self.config.dispatch_cycles)
+            self.counters.add("dispatch.cycles", self.config.dispatch_cycles)
+            task.lane_id = lane
+            self.pending_work[lane] += task.work + self.config.work_overhead
+            self.pending_count[lane] += 1
+            self._last_dfg[lane] = task.type.dfg.signature()
+            self.counters.add("dispatch.dispatched")
+            yield self.queues[lane].put(task)
+
+    def _pick(self) -> Optional[tuple[Task, int]]:
+        """Choose the next (task, lane) pair, or None to wait.
+
+        Work-aware mode walks the pool largest-first (LPT). With the
+        ``config_affinity`` extension it additionally matches *tasks to
+        lanes*: when a lane frees up, prefer a pool task whose DFG the
+        lane will already hold — placing whatever arrives next would
+        force a reconfiguration even though a matching task is waiting.
+        """
+        if not self._pool:
+            return None
+        if self._work_aware:
+            fallback: Optional[tuple[Task, int]] = None
+            for task in sorted(self._pool, key=lambda t: -t.work):
+                candidates = [i for i in self._candidates(task)
+                              if self.queues[i].level < self.LOW_WATER]
+                if not candidates:
+                    continue
+                if fallback is None:
+                    fallback = (task, self._least_loaded(candidates))
+                    if not self.features.config_affinity:
+                        break
+                if self.features.config_affinity:
+                    lane = self._affinity_lane(candidates, task)
+                    if lane is not None:
+                        self.counters.add("dispatch.affinity_matches")
+                        self._pool.remove(task)
+                        return task, lane
+            if fallback is not None:
+                self._pool.remove(fallback[0])
+            return fallback
+        # Naive policies: FIFO over the pool, eager placement.
+        task = self._pool.pop(0)
+        return task, self._choose_naive(task)
+
+    def _least_loaded(self, candidates: list[int]) -> int:
+        """The least-loaded candidate lane."""
+        return min(candidates, key=lambda i: (self.pending_work[i], i))
+
+    def _affinity_lane(self, candidates: list[int],
+                       task: Task) -> Optional[int]:
+        """A candidate lane already holding this task's configuration and
+        loaded within the reconfiguration-cost window, or None. Balancing
+        stays primary: beyond the window the match does not pay."""
+        best_load = min(self.pending_work[i] for i in candidates)
+        window = best_load + self.affinity_window
+        matched = [i for i in candidates
+                   if self.pending_work[i] <= window
+                   and self._last_dfg.get(i) == task.type.dfg.signature()]
+        if not matched:
+            return None
+        return min(matched, key=lambda i: (self.pending_work[i], i))
+
+    def _candidates(self, task: Task) -> list[int]:
+        avoid = {p.lane_id for p in task.stream_from
+                 if p.lane_id is not None and not p.completed}
+        candidates = [i for i in range(self.num_lanes) if i not in avoid]
+        return candidates or list(range(self.num_lanes))
+
+    def _choose_naive(self, task: Task) -> int:
+        candidates = self._candidates(task)
+        free = [i for i in candidates
+                if self.queues[i].level < self.config.queue_depth]
+        if free:
+            candidates = free
+        policy = self.config.policy
+        if policy == "random":
+            return self.rng.choice(candidates)
+        # work-aware-with-lb-ablated, round-robin, and steal all place
+        # round-robin (task-count balancing).
+        for _ in range(self.num_lanes):
+            lane = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.num_lanes
+            if lane in candidates:
+                return lane
+        return candidates[0]
+
+    # -- lane-side hooks ------------------------------------------------------
+
+    def task_started(self, task: Task) -> None:
+        """Called by a lane worker when it begins executing ``task``."""
+        task.started = True
+        ev = self._started_events.get(task.task_id)
+        if ev is not None and not ev.triggered:
+            ev.succeed(task)
+        self.kick()  # a queue slot just freed up
+
+    def task_completed(self, task: Task) -> None:
+        """Called by a lane worker when ``task`` finishes."""
+        task.completed = True
+        lane = task.lane_id
+        if lane is not None:
+            self.pending_work[lane] -= task.work + self.config.work_overhead
+            self.pending_count[lane] -= 1
+        self._outstanding -= 1
+        self.counters.add("dispatch.completed")
+        ev = self._completed_events.get(task.task_id)
+        if ev is not None and not ev.triggered:
+            ev.succeed(task)
+        if self._outstanding == 0 and not self._drained.triggered:
+            self._drained.succeed()
+        self.kick()
+
+    # -- stealing ----------------------------------------------------------------
+
+    def try_steal(self, thief_lane: int):
+        """Generator: an idle lane steals half the richest queue's tasks.
+
+        Only active under the ``steal`` policy. Returns the number of tasks
+        stolen (after paying ``steal_cycles`` on success).
+        """
+        if self.config.policy != "steal":
+            return 0
+        # Victim is the lane with the most *queued* (not running) tasks.
+        victim = max(range(self.num_lanes), key=lambda i: self.queues[i].level)
+        if victim == thief_lane or self.queues[victim].level == 0:
+            return 0
+        yield self.env.timeout(self.config.steal_cycles)
+        self.counters.add("dispatch.steals")
+        victim_q = self.queues[victim]
+        count = max(1, victim_q.level // 2)
+        stolen: list[Task] = []
+        for _ in range(count):
+            if victim_q.level == 0:
+                break
+            stolen.append(victim_q.pop_newest())  # steal from the tail
+        overhead = self.config.work_overhead
+        for task in stolen:
+            self.pending_work[victim] -= task.work + overhead
+            self.pending_count[victim] -= 1
+            self.pending_work[thief_lane] += task.work + overhead
+            self.pending_count[thief_lane] += 1
+            task.lane_id = thief_lane
+            yield self.queues[thief_lane].put(task)
+        return len(stolen)

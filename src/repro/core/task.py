@@ -1,0 +1,158 @@
+"""Task types, task instances, and the kernel execution context.
+
+A :class:`TaskType` couples four things:
+
+- a dataflow graph (``dfg``) — the lane configuration for its compute;
+- a *functional kernel* — a Python callable that performs the task's real
+  computation on the program state (so simulated runs produce checkable
+  results) and spawns child tasks;
+- *cost resolvers* — callables mapping the task's arguments to trip count,
+  reads, and writes, which drive the timing model;
+- *annotations* — a :class:`~repro.core.annotations.WorkHint` for the
+  dispatcher.
+
+A :class:`Task` is one instance with concrete arguments plus its dependence
+edges (``after`` for completion ordering, ``stream_from`` for pipelined
+producer→consumer streams).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.arch.dfg import Dfg
+from repro.core.annotations import ReadSpec, WorkHint, WriteSpec
+
+_task_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """The static description of a kind of task."""
+
+    name: str
+    dfg: Dfg
+    kernel: Callable[["TaskContext", dict], None]
+    trips: Callable[[dict], int]
+    reads: Callable[[dict], Sequence[ReadSpec]] = lambda args: ()
+    writes: Callable[[dict], Sequence[WriteSpec]] = lambda args: ()
+    work_hint: Optional[WorkHint] = None
+
+    def instantiate(self, args: Optional[dict] = None,
+                    after: Sequence["Task"] = (),
+                    stream_from: Sequence["Task"] = ()) -> "Task":
+        """Create a task instance of this type."""
+        return Task(self, dict(args or {}), list(after), list(stream_from))
+
+    def work_of(self, args: dict) -> float:
+        """Work estimate for the dispatcher (falls back to trip count)."""
+        if self.work_hint is not None:
+            return self.work_hint(args)
+        return float(self.trips(args))
+
+
+class Task:
+    """One runnable task instance."""
+
+    def __init__(self, task_type: TaskType, args: dict,
+                 after: list["Task"], stream_from: list["Task"]) -> None:
+        self.task_id = next(_task_ids)
+        self.type = task_type
+        self.args = args
+        self.after = after
+        self.stream_from = stream_from
+        #: Filled by the runtime: which lane executed the task.
+        self.lane_id: Optional[int] = None
+        #: Set True when the task has finished executing.
+        self.completed = False
+        #: Set True once the task has begun executing on a lane.
+        self.started = False
+        #: Tasks that consume this task's output as a pipelined stream.
+        self.stream_consumers: list[Task] = []
+        #: Expansion depth (root = 0); used by the static baseline's phases.
+        self.depth = 0
+        for producer in stream_from:
+            producer.stream_consumers.append(self)
+
+    # -- resolved cost model ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Readable identity, e.g. ``spmv_row#42``."""
+        return f"{self.type.name}#{self.task_id}"
+
+    @property
+    def trips(self) -> int:
+        """Loop trip count for the timing model."""
+        return int(self.type.trips(self.args))
+
+    @property
+    def reads(self) -> list[ReadSpec]:
+        """Resolved input specs."""
+        return list(self.type.reads(self.args))
+
+    @property
+    def writes(self) -> list[WriteSpec]:
+        """Resolved output specs."""
+        return list(self.type.writes(self.args))
+
+    @property
+    def work(self) -> float:
+        """Work estimate used by the work-aware dispatcher."""
+        return self.type.work_of(self.args)
+
+    @property
+    def write_bytes(self) -> int:
+        """Total output bytes."""
+        return sum(w.nbytes for w in self.writes)
+
+    @property
+    def stream_in_bytes(self) -> int:
+        """Bytes arriving via pipelined producer streams.
+
+        Convention: each producer forwards its own ``write_bytes``.
+        """
+        return sum(p.write_bytes for p in self.stream_from)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.name} args={self.args!r}>"
+
+
+class TaskContext:
+    """What a functional kernel sees while executing.
+
+    ``state`` is the program's shared data (NumPy arrays, dicts, ...).
+    ``spawn`` creates child tasks; the runtime decides when they dispatch.
+    """
+
+    def __init__(self, state: Any, task: Task) -> None:
+        self.state = state
+        self.task = task
+        self.spawned: list[Task] = []
+
+    def spawn(self, task_type: TaskType, args: Optional[dict] = None,
+              after: Sequence[Task] = (),
+              stream_from: Sequence[Task] = ()) -> Task:
+        """Create a child task.
+
+        ``after`` children wait for those tasks to *complete*;
+        ``stream_from`` children consume those tasks' output streams and
+        may be co-scheduled with them (pipelined) when the hardware
+        supports it.
+        """
+        child = task_type.instantiate(args, after=after,
+                                      stream_from=stream_from)
+        child.depth = self.task.depth + 1
+        for dep in list(after) + list(stream_from):
+            child.depth = max(child.depth, dep.depth + 1)
+        self.spawned.append(child)
+        return child
+
+
+def run_kernel(task: Task, state: Any) -> list[Task]:
+    """Execute a task's functional kernel; returns the tasks it spawned."""
+    ctx = TaskContext(state, task)
+    task.type.kernel(ctx, task.args)
+    return ctx.spawned

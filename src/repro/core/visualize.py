@@ -1,0 +1,126 @@
+"""Visualization: DOT exports and ASCII renders for graphs and mappings.
+
+Three views, all plain text so they work anywhere:
+
+- :func:`task_graph_dot` — the expanded task DAG of a program (after /
+  stream dependences distinguished), renderable with Graphviz.
+- :func:`dfg_dot` — one task type's dataflow graph.
+- :func:`mapping_ascii` — where a DFG's operations landed on the fabric
+  grid (the mapper's placement), as a character grid.
+"""
+
+from __future__ import annotations
+
+from repro.arch.dfg import Dfg, FuClass
+from repro.arch.mapper import Mapping
+from repro.core.program import ExpandedProgram
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', r'\"')
+
+
+def task_graph_dot(expanded: ExpandedProgram,
+                   max_tasks: int = 400) -> str:
+    """Graphviz DOT for the expanded task graph.
+
+    Solid edges are pipelined stream dependences; dashed edges are
+    completion (``after``) dependences. Nodes are coloured per task type.
+    Raises :class:`ValueError` for graphs beyond ``max_tasks`` (DOT
+    renders of huge graphs help nobody — filter first).
+    """
+    tasks = expanded.tasks
+    if len(tasks) > max_tasks:
+        raise ValueError(
+            f"task graph has {len(tasks)} tasks (> {max_tasks}); "
+            f"render a smaller instance")
+    palette = ["lightblue", "lightyellow", "lightpink", "lightgreen",
+               "lightgrey", "orange", "cyan", "violet"]
+    type_names = sorted({t.type.name for t in tasks})
+    colors = {name: palette[i % len(palette)]
+              for i, name in enumerate(type_names)}
+    lines = [
+        "digraph taskgraph {",
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontsize=10];',
+    ]
+    for task in tasks:
+        label = _dot_escape(f"{task.type.name}#{task.task_id}")
+        lines.append(
+            f'  t{task.task_id} [label="{label}", '
+            f'fillcolor={colors[task.type.name]}];')
+    for task in tasks:
+        for dep in task.after:
+            lines.append(
+                f"  t{dep.task_id} -> t{task.task_id} [style=dashed];")
+        for producer in task.stream_from:
+            lines.append(
+                f"  t{producer.task_id} -> t{task.task_id} "
+                f"[penwidth=2];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfg_dot(dfg: Dfg) -> str:
+    """Graphviz DOT for one dataflow graph.
+
+    Loop-carried edges (distance > 0) are drawn dashed and labelled with
+    their distance; node shapes distinguish FU classes.
+    """
+    shapes = {
+        FuClass.ALU: "box",
+        FuClass.MUL: "ellipse",
+        FuClass.MEM: "parallelogram",
+        FuClass.NONE: "plaintext",
+    }
+    lines = [f'digraph "{_dot_escape(dfg.name)}" {{',
+             "  rankdir=LR;",
+             "  node [fontsize=10];"]
+    for node in dfg.nodes.values():
+        shape = shapes[node.fu_class]
+        label = _dot_escape(f"{node.name}\\n{node.op.value}")
+        lines.append(f'  n{node.node_id} [label="{label}", shape={shape}];')
+    for edge in dfg.edges:
+        if edge.distance:
+            lines.append(
+                f'  n{edge.src} -> n{edge.dst} '
+                f'[style=dashed, label="d={edge.distance}"];')
+        else:
+            lines.append(f"  n{edge.src} -> n{edge.dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mapping_ascii(dfg: Dfg, mapping: Mapping) -> str:
+    """Character-grid view of a placement.
+
+    Each fabric cell shows the (possibly stacked) node ids placed on it,
+    ``.`` for an empty cell. A legend maps ids to op names, and the
+    header reports the achieved II and pipeline depth.
+    """
+    if not mapping.placement:
+        return f"{dfg.name}: (no placed nodes)"
+    rows = 1 + max(pos[0] for pos in mapping.placement.values())
+    cols = 1 + max(pos[1] for pos in mapping.placement.values())
+    grid: dict[tuple[int, int], list[int]] = {}
+    for node_id, pos in mapping.placement.items():
+        grid.setdefault(pos, []).append(node_id)
+    cell_texts = {}
+    width = 1
+    for pos, ids in grid.items():
+        text = "/".join(str(i) for i in sorted(ids))
+        cell_texts[pos] = text
+        width = max(width, len(text))
+    lines = [f"{dfg.name}: II={mapping.ii} depth={mapping.depth} "
+             f"(resource MII={mapping.resource_mii}, "
+             f"recurrence MII={mapping.recurrence_mii:.2f})"]
+    for r in range(rows):
+        row_cells = []
+        for c in range(cols):
+            row_cells.append(cell_texts.get((r, c), ".").center(width))
+        lines.append("  " + " ".join(row_cells))
+    legend = ", ".join(
+        f"{node_id}={dfg.nodes[node_id].name}"
+        for node_id in sorted(mapping.placement))
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Evaluation harness: experiment runners for every table and figure.
+
+Each experiment in DESIGN.md section 6 has a function here returning a
+structured result plus a plain-text rendering, so the benchmark targets
+under ``benchmarks/`` are thin wrappers and the numbers in EXPERIMENTS.md
+can be regenerated with one call.
+"""
+
+from repro.eval.runner import Comparison, compare, run_suite
+from repro.eval.tables import format_table
+from repro.eval.figures import bar_chart, series_table
+
+__all__ = [
+    "Comparison",
+    "compare",
+    "run_suite",
+    "format_table",
+    "bar_chart",
+    "series_table",
+]

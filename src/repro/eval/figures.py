@@ -1,0 +1,47 @@
+"""Plain-text "figures": bar charts and series tables.
+
+The paper's figures are bar charts (per-workload speedups, ablations) and
+line plots (scaling). We render both as text so every figure regenerates
+in a terminal and diffs cleanly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 46,
+              unit: str = "x") -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty chart)"
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar_chart requires a positive maximum")
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(f"{label:<{label_w}}  {value:>6.2f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def series_table(x_label: str, x_values: Sequence,
+                 series: dict[str, Sequence[float]],
+                 title: str = "") -> str:
+    """A line-plot substitute: one column per series, one row per x."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    headers = [x_label] + list(series)
+    widths = [max(len(h), 8) for h in headers]
+    lines = [title] if title else []
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for i, x in enumerate(x_values):
+        row = [str(x)] + [f"{series[name][i]:.2f}" for name in series]
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Run one workload on both machines and compare.
+
+This is the core evaluation loop: build a fresh program for each machine
+(kernels mutate state), simulate, verify functional results against the
+workload's reference implementation, and return both run results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arch.config import (
+    MachineConfig,
+    default_baseline_config,
+    default_delta_config,
+)
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta
+from repro.core.result import RunResult
+from repro.util.stats import geomean
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Comparison:
+    """Delta vs static results for one workload."""
+
+    workload: str
+    delta: RunResult
+    static: RunResult
+
+    @property
+    def speedup(self) -> float:
+        """Delta's speedup over the static-parallel design."""
+        return self.static.cycles / self.delta.cycles
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Static DRAM bytes / Delta DRAM bytes (>1 = Delta saves)."""
+        if self.delta.dram_bytes == 0:
+            return float("inf")
+        return self.static.dram_bytes / self.delta.dram_bytes
+
+    def row(self) -> list:
+        """Table row used by several reports."""
+        return [self.workload, f"{self.delta.cycles:,.0f}",
+                f"{self.static.cycles:,.0f}", f"{self.speedup:.2f}x",
+                f"{self.delta.imbalance_cv:.3f}",
+                f"{self.static.imbalance_cv:.3f}"]
+
+
+def compare(workload: Workload,
+            delta_config: Optional[MachineConfig] = None,
+            static_config: Optional[MachineConfig] = None,
+            verify: bool = True) -> Comparison:
+    """Simulate one workload on Delta and on the static baseline."""
+    delta_config = delta_config or default_delta_config()
+    static_config = static_config or default_baseline_config(
+        lanes=delta_config.lanes, seed=delta_config.seed)
+
+    delta_result = Delta(delta_config).run(workload.build_program())
+    static_result = StaticParallel(static_config).run(
+        workload.build_program())
+    if verify:
+        workload.check(delta_result.state)
+        workload.check(static_result.state)
+    return Comparison(workload.name, delta_result, static_result)
+
+
+def run_suite(lanes: int = 8,
+              workloads: Optional[Sequence[Workload]] = None,
+              verify: bool = True) -> list[Comparison]:
+    """Compare every evaluation workload at the given lane count."""
+    workloads = list(workloads) if workloads is not None else all_workloads()
+    delta_config = default_delta_config(lanes=lanes)
+    return [compare(w, delta_config, verify=verify) for w in workloads]
+
+
+def suite_geomean(comparisons: Sequence[Comparison]) -> float:
+    """Geomean speedup across a comparison set."""
+    return geomean([c.speedup for c in comparisons])

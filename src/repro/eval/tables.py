@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Numbers are right-aligned, text left-aligned; every cell is stringified
+    with ``str``. Used by every benchmark target so the printed output is
+    directly comparable across runs.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(value: str, width: int, original) -> str:
+        if isinstance(original, (int, float)):
+            return value.rjust(width)
+        # Right-align numeric-looking strings ("12.5x", "1,024").
+        stripped = value.replace(",", "").replace("x", "").replace(
+            "%", "").replace(".", "").replace("-", "")
+        if stripped.isdigit():
+            return value.rjust(width)
+        return value.ljust(width)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, cells):
+        lines.append("  ".join(align(cell, width, orig)
+                               for cell, width, orig
+                               in zip(row, widths, raw)))
+    return "\n".join(lines)

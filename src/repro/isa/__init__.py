@@ -1,0 +1,38 @@
+"""The Delta stream-dataflow + task ISA.
+
+Delta lanes are commanded through a small command ISA in the
+stream-dataflow style: configure the fabric, launch streams between
+memory/scratchpad and fabric ports, and — TaskStream's addition — task
+management instructions that carry the dependence annotations
+(work hints, shared-region declarations, stream dependences).
+
+The module provides the instruction definitions, a binary encoder/decoder
+(32-bit fixed-width words), a two-pass text assembler/disassembler, and a
+lowering pass from :class:`~repro.core.task.TaskType` to the command
+sequence a lane would execute — used by documentation, tests, and the
+``examples/isa_tour.py`` walkthrough.
+"""
+
+from repro.isa.instructions import (
+    Opcode,
+    Instruction,
+    IsaError,
+    FIELD_LAYOUTS,
+)
+from repro.isa.encoding import encode, decode, encode_program, decode_program
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.lower import lower_task
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "IsaError",
+    "FIELD_LAYOUTS",
+    "encode",
+    "decode",
+    "encode_program",
+    "decode_program",
+    "assemble",
+    "disassemble",
+    "lower_task",
+]

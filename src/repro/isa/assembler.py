@@ -1,0 +1,66 @@
+"""Text assembler / disassembler for the command ISA.
+
+Syntax: one instruction per line, ``opcode field=value, field=value``;
+``#`` starts a comment; blank lines are ignored. Values may be decimal or
+``0x`` hex. The disassembler emits exactly this syntax, so
+``assemble(disassemble(p)) == p``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    FIELD_LAYOUTS,
+    Instruction,
+    IsaError,
+    Opcode,
+)
+
+_BY_NAME = {op.name.lower(): op for op in Opcode}
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble a multi-line program into instructions."""
+    program = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        program.append(_assemble_line(line, lineno))
+    return program
+
+
+def _assemble_line(line: str, lineno: int) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    opcode = _BY_NAME.get(mnemonic)
+    if opcode is None:
+        raise IsaError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+    operands: dict[str, int] = {}
+    if len(parts) > 1:
+        for chunk in parts[1].split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise IsaError(
+                    f"line {lineno}: operand {chunk!r} is not name=value")
+            name, value = chunk.split("=", 1)
+            try:
+                operands[name.strip()] = int(value.strip(), 0)
+            except ValueError:
+                raise IsaError(
+                    f"line {lineno}: bad integer {value.strip()!r}"
+                ) from None
+    expected = {name for name, _w in FIELD_LAYOUTS[opcode]}
+    missing = expected - set(operands)
+    extra = set(operands) - expected
+    if missing or extra:
+        raise IsaError(
+            f"line {lineno}: {opcode.name} operand mismatch "
+            f"(missing {sorted(missing)}, extra {sorted(extra)})")
+    return Instruction(opcode, operands)
+
+
+def disassemble(program: list[Instruction]) -> str:
+    """Render a program back to assembly text."""
+    return "\n".join(instruction.render() for instruction in program)

@@ -1,0 +1,68 @@
+"""Binary encoding of the command ISA: 32-bit words, opcode in the top bits.
+
+Layout (MSB to LSB): 6-bit opcode, then the opcode's fields in layout
+order, then zero padding. Encoding and decoding round-trip exactly;
+unknown opcodes and set padding bits are decode errors (they indicate a
+corrupted command stream).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    FIELD_LAYOUTS,
+    Instruction,
+    IsaError,
+    Opcode,
+)
+
+_WORD_BITS = 32
+_OPCODE_BITS = 6
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode one instruction into a 32-bit word."""
+    layout = FIELD_LAYOUTS[instruction.opcode]
+    word = int(instruction.opcode)
+    used = _OPCODE_BITS
+    for name, width in layout:
+        word = (word << width) | instruction.operands[name]
+        used += width
+    word <<= (_WORD_BITS - used)
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an instruction."""
+    if not 0 <= word < (1 << _WORD_BITS):
+        raise IsaError(f"word out of range: {word:#x}")
+    opcode_value = word >> (_WORD_BITS - _OPCODE_BITS)
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        raise IsaError(f"unknown opcode {opcode_value:#x} in {word:#010x}"
+                       ) from None
+    layout = FIELD_LAYOUTS[opcode]
+    offset = _WORD_BITS - _OPCODE_BITS
+    operands = {}
+    for name, width in layout:
+        offset -= width
+        operands[name] = (word >> offset) & ((1 << width) - 1)
+    if word & ((1 << offset) - 1):
+        raise IsaError(f"nonzero padding bits in {word:#010x}")
+    return Instruction(opcode, operands)
+
+
+def encode_program(instructions: list[Instruction]) -> bytes:
+    """Encode a command sequence as big-endian 32-bit words."""
+    out = bytearray()
+    for instruction in instructions:
+        out.extend(encode(instruction).to_bytes(4, "big"))
+    return bytes(out)
+
+
+def decode_program(blob: bytes) -> list[Instruction]:
+    """Decode a byte string produced by :func:`encode_program`."""
+    if len(blob) % 4:
+        raise IsaError(f"program length {len(blob)} is not word-aligned")
+    return [decode(int.from_bytes(blob[i:i + 4], "big"))
+            for i in range(0, len(blob), 4)]

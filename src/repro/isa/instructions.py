@@ -1,0 +1,115 @@
+"""Instruction definitions for the Delta command ISA.
+
+Every instruction is one 32-bit word: a 6-bit opcode plus opcode-specific
+fields (see :data:`FIELD_LAYOUTS`). Field widths are chosen so evaluation-
+scale programs encode without overflow while staying within one word —
+matching the flavour of published stream-dataflow ISAs, where commands are
+small because bulk behaviour lives in the streams, not the instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class IsaError(ValueError):
+    """Raised for malformed instructions, encodings, or assembly text."""
+
+
+class Opcode(enum.IntEnum):
+    """Command opcodes."""
+
+    # Fabric configuration.
+    CFG = 0x01       # configure fabric with dataflow graph <dfg>
+    # Stream commands.
+    SIN = 0x02       # affine stream: memory -> fabric port
+    SIND = 0x03      # indirect (gather) stream: memory -> fabric port
+    SOUT = 0x04      # affine stream: fabric port -> memory
+    SRD = 0x05       # resident read: scratchpad region -> fabric port
+    SFWD = 0x06      # forward: fabric port -> remote lane's port
+    # Synchronization.
+    BAR = 0x07       # wait until all issued streams complete
+    # TaskStream task management.
+    TSPAWN = 0x10    # create a task of <ttype> with argument block <argb>
+    TWORK = 0x11     # annotate pending spawn with a work estimate
+    TSHARE = 0x12    # annotate a read as shared (region id)
+    TSTREAM = 0x13   # annotate a dependence as a pipelined stream
+    TAFTER = 0x14    # annotate a completion dependence
+    TCOMMIT = 0x15   # enqueue the pending spawn to the dispatcher
+    TRET = 0x16      # current task is complete
+
+
+#: Field layouts: opcode -> ordered (field name, bit width). The opcode
+#: itself occupies the top 6 bits; listed fields pack MSB-first below it.
+FIELD_LAYOUTS: dict[Opcode, tuple[tuple[str, int], ...]] = {
+    Opcode.CFG: (("dfg", 10),),
+    Opcode.SIN: (("port", 4), ("addr", 12), ("length", 8), ("locality", 2)),
+    Opcode.SIND: (("port", 4), ("idx_addr", 12), ("length", 8)),
+    Opcode.SOUT: (("port", 4), ("addr", 12), ("length", 8), ("locality", 2)),
+    Opcode.SRD: (("port", 4), ("region", 10), ("length", 8)),
+    Opcode.SFWD: (("port", 4), ("lane", 6), ("length", 8)),
+    Opcode.BAR: (),
+    Opcode.TSPAWN: (("ttype", 8), ("argb", 12)),
+    Opcode.TWORK: (("estimate", 16),),
+    Opcode.TSHARE: (("region", 10), ("length", 8)),
+    Opcode.TSTREAM: (("producer", 12),),
+    Opcode.TAFTER: (("producer", 12),),
+    Opcode.TCOMMIT: (),
+    Opcode.TRET: (),
+}
+
+_OPCODE_BITS = 6
+_WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: opcode plus named operand fields."""
+
+    opcode: Opcode
+    operands: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        layout = FIELD_LAYOUTS.get(self.opcode)
+        if layout is None:
+            raise IsaError(f"unknown opcode {self.opcode!r}")
+        expected = {name for name, _w in layout}
+        got = set(self.operands)
+        if expected != got:
+            raise IsaError(
+                f"{self.opcode.name} expects operands {sorted(expected)}, "
+                f"got {sorted(got)}")
+        total = _OPCODE_BITS
+        for name, width in layout:
+            value = self.operands[name]
+            if not 0 <= value < (1 << width):
+                raise IsaError(
+                    f"{self.opcode.name}.{name}={value} does not fit in "
+                    f"{width} bits")
+            total += width
+        if total > _WORD_BITS:
+            raise IsaError(
+                f"{self.opcode.name} layout exceeds {_WORD_BITS} bits")
+
+    def get(self, name: str) -> int:
+        """Read one operand field."""
+        return self.operands[name]
+
+    def render(self) -> str:
+        """Assembly text, e.g. ``sin port=0, addr=128, length=16``."""
+        layout = FIELD_LAYOUTS[self.opcode]
+        if not layout:
+            return self.opcode.name.lower()
+        ops = ", ".join(f"{name}={self.operands[name]}"
+                        for name, _w in layout)
+        return f"{self.opcode.name.lower()} {ops}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.render()}>"
+
+
+def make(opcode: Opcode, **operands: int) -> Instruction:
+    """Convenience constructor: ``make(Opcode.SIN, port=0, ...)``."""
+    return Instruction(opcode, dict(operands))

@@ -1,0 +1,120 @@
+"""Lowering: from the task programming model to the command ISA.
+
+``lower_task`` produces the command sequence a Delta lane executes for one
+task instance: fabric configuration, input streams (shared reads become
+resident reads after a TSHARE declaration), the spawn sequence with
+annotation instructions for each child, output streams, and TRET.
+
+This is how the library documents — executably — what the annotations in
+:mod:`repro.core.annotations` look like at the hardware interface.
+"""
+
+from __future__ import annotations
+
+from repro.core.task import Task
+from repro.isa.instructions import Instruction, Opcode, make
+
+
+class _IdAllocator:
+    """Stable small-integer ids for names (DFGs, regions, task types)."""
+
+    def __init__(self, limit: int) -> None:
+        self._ids: dict[str, int] = {}
+        self._limit = limit
+
+    def id_of(self, name: str) -> int:
+        if name not in self._ids:
+            if len(self._ids) >= self._limit:
+                raise ValueError(f"id space exhausted at {name!r}")
+            self._ids[name] = len(self._ids)
+        return self._ids[name]
+
+
+def lower_task(task: Task,
+               dfg_ids: _IdAllocator | None = None,
+               region_ids: _IdAllocator | None = None,
+               chunk_bytes: int = 256) -> list[Instruction]:
+    """Lower one task instance to its lane command sequence.
+
+    Children the task would spawn are *not* discovered here (that requires
+    running the kernel); callers lower children separately. The spawn
+    block in the produced listing covers the statically known dependences
+    (``after`` / ``stream_from`` edges of the task itself are annotations
+    on its own dispatch, emitted by its parent).
+    """
+    dfg_ids = dfg_ids or _IdAllocator(1 << 10)
+    region_ids = region_ids or _IdAllocator(1 << 10)
+
+    program: list[Instruction] = [
+        make(Opcode.CFG, dfg=dfg_ids.id_of(task.type.dfg.name)),
+    ]
+    port = 0
+    for spec in task.reads:
+        length = _chunks(spec.nbytes, chunk_bytes)
+        if spec.shared:
+            region = region_ids.id_of(spec.region)
+            program.append(make(Opcode.TSHARE, region=region,
+                                length=length))
+            program.append(make(Opcode.SRD, port=port, region=region,
+                                length=length))
+        elif spec.locality < 0.5:
+            program.append(make(Opcode.SIND, port=port,
+                                idx_addr=_addr(port), length=length))
+        else:
+            program.append(make(Opcode.SIN, port=port, addr=_addr(port),
+                                length=length,
+                                locality=_locality_code(spec.locality)))
+        port += 1
+    for producer in task.stream_from:
+        program.append(make(Opcode.TSTREAM,
+                            producer=producer.task_id & 0xFFF))
+        port += 1
+    out_port = 0
+    if task.stream_consumers:
+        for consumer in task.stream_consumers:
+            program.append(make(Opcode.SFWD, port=out_port,
+                                lane=0,  # bound at dispatch time
+                                length=_chunks(task.write_bytes,
+                                               chunk_bytes)))
+    else:
+        for spec in task.writes:
+            program.append(make(
+                Opcode.SOUT, port=out_port, addr=_addr(8 + out_port),
+                length=_chunks(spec.nbytes, chunk_bytes),
+                locality=_locality_code(spec.locality)))
+            out_port += 1
+    program.append(make(Opcode.BAR))
+    program.append(make(Opcode.TRET))
+    return program
+
+
+def lower_spawn(child: Task,
+                type_ids: _IdAllocator | None = None) -> list[Instruction]:
+    """The spawn block a parent emits to create ``child``."""
+    type_ids = type_ids or _IdAllocator(1 << 8)
+    block: list[Instruction] = [
+        make(Opcode.TSPAWN,
+             ttype=type_ids.id_of(child.type.name),
+             argb=child.task_id & 0xFFF),
+        make(Opcode.TWORK, estimate=min(int(child.work), (1 << 16) - 1)),
+    ]
+    for dep in child.after:
+        block.append(make(Opcode.TAFTER, producer=dep.task_id & 0xFFF))
+    for producer in child.stream_from:
+        block.append(make(Opcode.TSTREAM, producer=producer.task_id & 0xFFF))
+    block.append(make(Opcode.TCOMMIT))
+    return block
+
+
+def _chunks(nbytes: int, chunk_bytes: int) -> int:
+    return min(-(-nbytes // chunk_bytes), (1 << 8) - 1) if nbytes else 0
+
+
+def _addr(slot: int) -> int:
+    # Argument-block-relative stream base addresses, 16B-aligned slots.
+    return (slot * 16) & 0xFFF
+
+
+def _locality_code(locality: float) -> int:
+    """Quantize [0, 1] locality into the 2-bit field."""
+    return min(3, int(locality * 4))

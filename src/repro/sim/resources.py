@@ -1,0 +1,230 @@
+"""Shared-resource primitives: FIFO resources, bounded queues, bandwidth.
+
+These are the contention points of the simulated machine. All waiting is
+strictly FIFO so results are deterministic given a deterministic event
+ordering (which :mod:`repro.sim.engine` guarantees via sequence numbers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class Resource:
+    """A FIFO resource with integer capacity (e.g. stream-engine ports).
+
+    Usage inside a process::
+
+        grant = yield resource.acquire()
+        try:
+            yield env.timeout(10)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of acquire requests waiting."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        grant = self.env.event(name=f"acquire:{self.name}")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release one held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)  # slot transfers directly
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A bounded FIFO queue with blocking put/get — the pipelined-stream
+    backbone.
+
+    A producer task pushing chunks into a full Store blocks (backpressure);
+    a consumer popping from an empty Store blocks. Capacity is in abstract
+    items (the stream layer uses one item per chunk).
+
+    A Store can be *closed* by the producer; after the queued items drain,
+    pending and future ``get`` calls receive :data:`Store.END`.
+    """
+
+    END = object()
+
+    def __init__(self, env: Environment, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"Store capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self._getters: deque[Event] = deque()
+        self._closed = False
+        self.total_put = 0
+
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer has closed the stream."""
+        return self._closed
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires when ``item`` has been enqueued."""
+        if self._closed:
+            raise SimulationError(f"put() on closed store {self.name!r}")
+        done = self.env.event(name=f"put:{self.name}")
+        if self._getters:
+            # Hand the item straight to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_put += 1
+            done.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            self.total_put += 1
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (or END)."""
+        got = self.env.event(name=f"get:{self.name}")
+        if self._items:
+            got.succeed(self._items.popleft())
+            self._admit_waiting_putter()
+        elif self._closed and not self._putters:
+            got.succeed(Store.END)
+        else:
+            self._getters.append(got)
+        return got
+
+    def peek(self) -> Any:
+        """The oldest buffered item without removing it (None if empty).
+
+        Used by schedulers that inspect queue heads (e.g. prefetching the
+        next task's inputs) without consuming the entry.
+        """
+        return self._items[0] if self._items else None
+
+    def pop_newest(self) -> Any:
+        """Remove and return the *newest* buffered item.
+
+        The work-stealing path takes from the tail (the classic deque
+        discipline: thieves steal the coldest work). Raises
+        :class:`SimulationError` when nothing is buffered. Any waiting
+        putter is admitted into the freed slot.
+        """
+        if not self._items:
+            raise SimulationError(f"pop_newest() on empty store {self.name!r}")
+        item = self._items.pop()
+        self._admit_waiting_putter()
+        return item
+
+    def close(self) -> None:
+        """Close the stream; drained getters receive END."""
+        if self._closed:
+            return
+        self._closed = True
+        # Only wake getters if nothing remains to deliver.
+        if not self._items and not self._putters:
+            while self._getters:
+                self._getters.popleft().succeed(Store.END)
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters:
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            self.total_put += 1
+            done.succeed()
+        elif self._closed and not self._items:
+            while self._getters:
+                self._getters.popleft().succeed(Store.END)
+
+
+class BandwidthServer:
+    """A FIFO serialization server modeling a fixed-rate channel.
+
+    Models links and DRAM channels: a transfer of ``nbytes`` occupies the
+    channel for ``nbytes / bytes_per_cycle`` cycles, transfers are served
+    in arrival order, and each completed transfer additionally experiences
+    a fixed pipe ``latency``. This is the standard "rate + latency" channel
+    abstraction; queueing delay under contention is emergent.
+
+    The implementation is O(1) per transfer: we track when the channel next
+    becomes free instead of simulating per-cycle occupancy.
+    """
+
+    def __init__(self, env: Environment, bytes_per_cycle: float,
+                 latency: float = 0.0, name: str = "") -> None:
+        if bytes_per_cycle <= 0:
+            raise SimulationError(
+                f"bytes_per_cycle must be positive: {bytes_per_cycle}")
+        if latency < 0:
+            raise SimulationError(f"latency must be non-negative: {latency}")
+        self.env = env
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency = latency
+        self.name = name
+        self._next_free = 0.0
+        self.total_bytes = 0
+        self.total_transfers = 0
+        self._busy_cycles = 0.0
+
+    def transfer(self, nbytes: float) -> Event:
+        """Return an event firing when ``nbytes`` have been delivered."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        start = max(self.env.now, self._next_free)
+        service = nbytes / self.bytes_per_cycle
+        finish = start + service
+        self._next_free = finish
+        self._busy_cycles += service
+        self.total_bytes += nbytes
+        self.total_transfers += 1
+        return self.env.timeout(finish + self.latency - self.env.now)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time busy over ``elapsed`` (default: env.now)."""
+        horizon = self.env.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._busy_cycles / horizon)
+
+    @property
+    def backlog_cycles(self) -> float:
+        """Cycles until the channel would go idle if no more work arrives."""
+        return max(0.0, self._next_free - self.env.now)

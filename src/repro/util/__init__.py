@@ -1,0 +1,31 @@
+"""Shared utilities: deterministic RNG, validation helpers, small math."""
+
+from repro.util.rng import DeterministicRng
+from repro.util.validate import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_power_of_two,
+)
+from repro.util.stats import (
+    geomean,
+    mean,
+    coefficient_of_variation,
+    percentile,
+    Histogram,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_power_of_two",
+    "geomean",
+    "mean",
+    "coefficient_of_variation",
+    "percentile",
+    "Histogram",
+]

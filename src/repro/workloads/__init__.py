@@ -1,0 +1,15 @@
+"""Workloads: task-parallel programs exercising TaskStream's mechanisms.
+
+Every workload module exposes a ``Workload`` subclass (or factory) that
+builds a fresh :class:`~repro.core.program.Program` per call, plus a
+reference implementation used to verify the simulated results.
+
+:mod:`repro.workloads.synthetic` holds parameterized microbenchmarks used
+by unit tests and sensitivity studies; the named modules hold the ten
+evaluation workloads listed in DESIGN.md.
+"""
+
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.registry import all_workloads, get_workload
+
+__all__ = ["Workload", "WorkloadError", "all_workloads", "get_workload"]

@@ -1,0 +1,65 @@
+"""The workload interface: build a program, verify its results.
+
+A workload owns:
+
+- deterministic input generation (seeded by the workload's parameters);
+- a :meth:`Workload.build_program` factory returning a *fresh* program —
+  kernels mutate program state, so every simulation run gets its own copy;
+- a :meth:`Workload.reference` computation (NumPy / pure Python);
+- a :meth:`Workload.check` that compares simulated state to the reference.
+
+Sizes default to "small but structurally faithful": large enough that
+load-imbalance, sharing and pipelining effects show, small enough that the
+full evaluation suite runs in minutes in pure Python.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.core.program import Program
+
+
+class WorkloadError(AssertionError):
+    """Raised when simulated results disagree with the reference."""
+
+
+class Workload(abc.ABC):
+    """Base class for every evaluation workload."""
+
+    #: Short identifier used in tables (override in subclasses).
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def build_program(self) -> Program:
+        """Create a fresh program instance (fresh state, fresh tasks)."""
+
+    @abc.abstractmethod
+    def reference(self) -> Any:
+        """Compute the expected result with a plain implementation."""
+
+    @abc.abstractmethod
+    def check(self, state: Any) -> None:
+        """Raise :class:`WorkloadError` if ``state`` mismatches the
+        reference."""
+
+    # -- conveniences --------------------------------------------------------
+
+    def verify_result(self, state: Any) -> bool:
+        """Like :meth:`check` but returns True/False."""
+        try:
+            self.check(state)
+            return True
+        except WorkloadError:
+            return False
+
+    def describe(self) -> dict:
+        """Workload-characteristics row for table T2 (override to extend)."""
+        return {"name": self.name}
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`WorkloadError` unless ``condition`` holds."""
+    if not condition:
+        raise WorkloadError(message)

@@ -1,0 +1,69 @@
+"""Workload registry: name -> factory for the evaluation suite.
+
+``all_workloads()`` returns the ten-paper-workload suite at "evaluation"
+sizes (see DESIGN.md section 5). ``get_workload(name)`` builds one by name.
+Synthetic microbenchmarks are registered too (prefixed ``micro-``) so the
+sensitivity benches can use the same entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+
+_REGISTRY: dict[str, Callable[[], Workload]] = {}
+
+
+def register(name: str, factory: Callable[[], Workload]) -> None:
+    """Add a workload factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a registered workload."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def workload_names() -> list[str]:
+    """All registered names, evaluation suite first."""
+    return sorted(_REGISTRY)
+
+
+def all_workloads() -> list[Workload]:
+    """The paper-evaluation suite (excludes ``micro-*`` microbenchmarks
+    and ``ext-*`` extended workloads, keeping F1 comparable across
+    runs)."""
+    return [factory() for name, factory in sorted(_REGISTRY.items())
+            if not name.startswith(("micro-", "ext-"))]
+
+
+def _register_builtin() -> None:
+    from repro.workloads import synthetic
+
+    register("micro-uniform", synthetic.UniformTasks)
+    register("micro-skewed", synthetic.SkewedTasks)
+    register("micro-shared", synthetic.SharedReadTasks)
+    register("micro-chain", synthetic.ChainTasks)
+    register("micro-tree", synthetic.SpawnTree)
+    register("micro-thrash", synthetic.ConfigThrash)
+
+    # Extended-suite workloads (beyond the core ten; see DESIGN.md).
+    from repro.workloads.pagerank import PagerankWorkload
+    from repro.workloads.spgemm import SpgemmWorkload
+
+    register("ext-spgemm", SpgemmWorkload)
+    register("ext-pagerank", PagerankWorkload)
+
+    # The evaluation suite registers lazily so importing the registry does
+    # not pull every workload module (and its input generators) eagerly.
+    from repro.workloads import suite
+
+    suite.register_all(register)
+
+
+_register_builtin()

@@ -1,0 +1,39 @@
+"""Registration of the ten-paper-workload evaluation suite.
+
+Each workload lives in its own module; this file only wires names to
+factories at "evaluation" sizes (kept modest so the full suite simulates
+in minutes in pure Python — the *shapes* of the results are what matter,
+per DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+
+
+def register_all(register: Callable[[str, Callable[[], Workload]], None],
+                 ) -> None:
+    """Register every evaluation workload with the given registrar."""
+    from repro.workloads.spmv import SpmvWorkload
+    from repro.workloads.spmm import SpmmWorkload
+    from repro.workloads.bfs import BfsWorkload
+    from repro.workloads.mergesort import MergesortWorkload
+    from repro.workloads.cholesky import CholeskyWorkload
+    from repro.workloads.wavefront import WavefrontWorkload
+    from repro.workloads.triangle import TriangleWorkload
+    from repro.workloads.histogram import HistogramWorkload
+    from repro.workloads.knn import KnnWorkload
+    from repro.workloads.stencil_amr import StencilAmrWorkload
+
+    register("spmv", SpmvWorkload)
+    register("spmm", SpmmWorkload)
+    register("bfs", BfsWorkload)
+    register("mergesort", MergesortWorkload)
+    register("cholesky", CholeskyWorkload)
+    register("wavefront", WavefrontWorkload)
+    register("triangle", TriangleWorkload)
+    register("histogram", HistogramWorkload)
+    register("knn", KnnWorkload)
+    register("stencil-amr", StencilAmrWorkload)

@@ -1,0 +1,56 @@
+"""Tests for the analytical area model (repro.arch.area)."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.area import AreaParameters, estimate_area
+from repro.arch.config import default_delta_config
+
+
+def test_breakdown_components_positive():
+    breakdown = estimate_area(default_delta_config())
+    for label, mm2 in breakdown.rows():
+        assert mm2 > 0, label
+
+
+def test_machine_total_is_sum():
+    b = estimate_area(default_delta_config())
+    assert b.machine_total == pytest.approx(b.lanes_total
+                                            + b.taskstream_total)
+
+
+def test_overhead_fraction_small():
+    b = estimate_area(default_delta_config())
+    assert 0.005 < b.overhead_fraction < 0.08
+
+
+def test_more_lanes_more_area_but_bounded_overhead():
+    small = estimate_area(default_delta_config(lanes=2))
+    large = estimate_area(default_delta_config(lanes=32))
+    assert large.lanes_total > small.lanes_total
+    assert large.overhead_fraction < 0.08
+
+
+def test_spad_dominates_lane_area_at_default_config():
+    b = estimate_area(default_delta_config())
+    assert b.lane_spad > b.lane_compute
+
+
+def test_custom_parameters_shift_results():
+    config = default_delta_config()
+    base = estimate_area(config)
+    pricey_queues = dataclasses.replace(
+        AreaParameters(), task_queue_per_entry=0.01)
+    bigger = estimate_area(config, pricey_queues)
+    assert bigger.task_queues > base.task_queues
+    assert bigger.overhead_fraction > base.overhead_fraction
+
+
+def test_queue_depth_scales_task_hw():
+    config = default_delta_config()
+    deeper = dataclasses.replace(
+        config, dispatch=dataclasses.replace(config.dispatch,
+                                             queue_depth=64))
+    assert estimate_area(deeper).task_queues > \
+        estimate_area(config).task_queues

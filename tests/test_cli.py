@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "spmv" in out
+    assert "F1" in out
+
+
+def test_run_delta(capsys):
+    assert main(["run", "micro-uniform", "--lanes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "delta" in out
+    assert "functional check: OK" in out
+
+
+def test_run_static_machine(capsys):
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--machine", "static"]) == 0
+    assert "static" in capsys.readouterr().out
+
+
+def test_run_with_counters(capsys):
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--counters"]) == 0
+    assert "dram.read_bytes" in capsys.readouterr().out
+
+
+def test_run_with_trace(tmp_path, capsys):
+    trace_file = tmp_path / "t.json"
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--trace", str(trace_file)]) == 0
+    assert trace_file.exists()
+    assert "trace written" in capsys.readouterr().out
+
+
+def test_run_with_ablation_flags(capsys):
+    assert main(["run", "micro-shared", "--lanes", "2",
+                 "--no-mcast", "--no-pipe", "--no-lb"]) == 0
+
+
+def test_run_with_extensions(capsys):
+    assert main(["run", "micro-thrash", "--lanes", "2",
+                 "--affinity", "--prefetch"]) == 0
+
+
+def test_run_unknown_workload_clean_error(capsys):
+    assert main(["run", "not-a-workload"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
+    assert "Traceback" not in err
+
+
+def test_run_invalid_config_clean_error(capsys):
+    assert main(["run", "spmv", "--lanes", "0"]) == 2
+    assert "lanes must be positive" in capsys.readouterr().err
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "micro-skewed", "--lanes", "2"]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_experiment_t1(capsys):
+    assert main(["experiment", "t1"]) == 0
+    assert "machine configuration" in capsys.readouterr().out
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "zz"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_show_tasks(capsys):
+    assert main(["show", "micro-tree", "--what", "tasks"]) == 0
+    assert "digraph taskgraph" in capsys.readouterr().out
+
+
+def test_show_dfg(capsys):
+    assert main(["show", "micro-uniform", "--what", "dfg"]) == 0
+    assert "digraph" in capsys.readouterr().out
+
+
+def test_show_mapping(capsys):
+    assert main(["show", "micro-uniform", "--what", "mapping"]) == 0
+    assert "II=" in capsys.readouterr().out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,247 @@
+"""End-to-end tests of the Delta machine (repro.core.delta)."""
+
+import pytest
+
+from repro.arch.config import (
+    DispatchConfig,
+    FeatureFlags,
+    MachineConfig,
+    default_delta_config,
+)
+from repro.arch.dfg import axpy_dfg, dot_product_dfg
+from repro.core.annotations import ReadSpec, WorkHint, WriteSpec
+from repro.core.delta import Delta, ExecutionStalled
+from repro.core.program import Program
+from repro.core.task import TaskType
+import dataclasses
+
+
+def leaf_type(name="leaf", trips=64):
+    return TaskType(
+        name=name, dfg=dot_product_dfg(name),
+        kernel=lambda ctx, args: ctx.state.setdefault("ran", []).append(
+            args.get("i")),
+        trips=lambda args: trips,
+        reads=lambda args: (ReadSpec(nbytes=trips * 4),),
+        writes=lambda args: (WriteSpec(nbytes=4),),
+        work_hint=WorkHint(lambda args: trips),
+    )
+
+
+def make_program(num_tasks=8, trips=64):
+    tt = leaf_type(trips=trips)
+    return Program("p", {},
+                   [tt.instantiate({"i": i}) for i in range(num_tasks)])
+
+
+class TestBasicExecution:
+    def test_runs_all_tasks(self):
+        result = Delta(default_delta_config(lanes=4)).run(make_program(10))
+        assert result.tasks_executed == 10
+        assert sorted(result.state["ran"]) == list(range(10))
+        assert result.cycles > 0
+
+    def test_single_lane_machine(self):
+        result = Delta(default_delta_config(lanes=1)).run(make_program(4))
+        assert result.tasks_executed == 4
+
+    def test_deterministic_given_seed(self):
+        a = Delta(default_delta_config(lanes=4, seed=3)).run(make_program(12))
+        b = Delta(default_delta_config(lanes=4, seed=3)).run(make_program(12))
+        assert a.cycles == b.cycles
+        assert a.lane_busy == b.lane_busy
+
+    def test_result_metadata(self):
+        result = Delta(default_delta_config(lanes=4)).run(make_program(6))
+        assert result.machine == "delta"
+        assert result.program_name == "p"
+        assert len(result.lane_busy) == 4
+        assert result.dram_bytes > 0
+
+    def test_max_cycles_raises_execution_stalled(self):
+        with pytest.raises(ExecutionStalled, match="stalled"):
+            Delta(default_delta_config(lanes=2)).run(make_program(8),
+                                                     max_cycles=10)
+
+    def test_more_lanes_not_slower(self):
+        slow = Delta(default_delta_config(lanes=1)).run(make_program(16))
+        fast = Delta(default_delta_config(lanes=8)).run(make_program(16))
+        assert fast.cycles < slow.cycles
+
+
+class TestSpawning:
+    def test_spawned_tasks_execute(self):
+        child = leaf_type("child")
+
+        def kernel(ctx, args):
+            for i in range(3):
+                ctx.spawn(child, {"i": i})
+
+        root = TaskType("root", dot_product_dfg("root"), kernel,
+                        trips=lambda args: 1)
+        program = Program("spawny", {}, [root.instantiate()])
+        result = Delta(default_delta_config(lanes=2)).run(program)
+        assert result.tasks_executed == 4
+        assert sorted(result.state["ran"]) == [0, 1, 2]
+
+    def test_after_dep_orders_kernels(self):
+        tt = leaf_type()
+        order = []
+
+        def first_kernel(ctx, args):
+            order.append("first")
+
+        def second_kernel(ctx, args):
+            order.append("second")
+
+        first = TaskType("first", dot_product_dfg("f"), first_kernel,
+                         trips=lambda args: 512)
+        second = TaskType("second", dot_product_dfg("s"), second_kernel,
+                          trips=lambda args: 1)
+
+        def root_kernel(ctx, args):
+            a = ctx.spawn(first)
+            ctx.spawn(second, after=[a])
+
+        root = TaskType("root", dot_product_dfg("r"), root_kernel,
+                        trips=lambda args: 1)
+        Delta(default_delta_config(lanes=4)).run(
+            Program("ordered", {}, [root.instantiate()]))
+        assert order == ["first", "second"]
+
+
+class TestPipelining:
+    def chain_program(self, depth=4, trips=512):
+        stage = TaskType(
+            "stage", axpy_dfg("stage"),
+            kernel=lambda ctx, args: ctx.state["order"].append(
+                args["stage"]),
+            trips=lambda args: trips,
+            writes=lambda args: (WriteSpec(nbytes=trips * 4),),
+        )
+
+        def root_kernel(ctx, args):
+            ctx.state["order"].append(0)
+            prev = ctx.task
+            for s in range(1, depth):
+                prev = ctx.spawn(stage, {"stage": s}, stream_from=[prev])
+
+        root = TaskType(
+            "stage", axpy_dfg("stage"), root_kernel,
+            trips=lambda args: trips,
+            writes=lambda args: (WriteSpec(nbytes=trips * 4),),
+        )
+        return Program("chain", {"order": []},
+                       [root.instantiate({"stage": 0})])
+
+    def test_pipelined_chain_faster_than_unpipelined(self):
+        on = Delta(default_delta_config(lanes=4)).run(self.chain_program())
+        flags = FeatureFlags(pipelining=False)
+        off = Delta(default_delta_config(lanes=4, features=flags)).run(
+            self.chain_program())
+        assert on.cycles < off.cycles * 0.8
+
+    def test_pipelined_chain_avoids_dram(self):
+        on = Delta(default_delta_config(lanes=4)).run(self.chain_program())
+        flags = FeatureFlags(pipelining=False)
+        off = Delta(default_delta_config(lanes=4, features=flags)).run(
+            self.chain_program())
+        assert on.dram_bytes < off.dram_bytes
+        assert on.counters.get("pipe.bytes") > 0
+        assert off.counters.get("pipe.bytes") == 0
+
+    def test_kernel_order_respects_stream_deps(self):
+        result = Delta(default_delta_config(lanes=4)).run(
+            self.chain_program(depth=5))
+        assert result.state["order"] == [0, 1, 2, 3, 4]
+
+    def test_chain_on_single_lane_still_completes(self):
+        # Producers and consumer must share the one lane; the full-stream
+        # channel capacity guarantees progress.
+        result = Delta(default_delta_config(lanes=1)).run(
+            self.chain_program(depth=3))
+        assert result.tasks_executed == 3
+
+    def test_multi_producer_consumer(self):
+        leaf = TaskType(
+            "leaf", dot_product_dfg("l"),
+            kernel=lambda ctx, args: None,
+            trips=lambda args: 256,
+            writes=lambda args: (WriteSpec(nbytes=1024),),
+        )
+        combine = TaskType(
+            "combine", dot_product_dfg("c"),
+            kernel=lambda ctx, args: ctx.state.__setitem__("combined", True),
+            trips=lambda args: 512,
+            writes=lambda args: (WriteSpec(nbytes=4),),
+        )
+
+        def root_kernel(ctx, args):
+            a = ctx.spawn(leaf)
+            b = ctx.spawn(leaf)
+            ctx.spawn(combine, stream_from=[a, b])
+
+        root = TaskType("root", dot_product_dfg("r"), root_kernel,
+                        trips=lambda args: 1)
+        result = Delta(default_delta_config(lanes=4)).run(
+            Program("fanin", {}, [root.instantiate()]))
+        assert result.state.get("combined")
+        assert result.tasks_executed == 4
+
+
+class TestMulticastIntegration:
+    def shared_program(self, num_tasks=12, region_bytes=4096):
+        tt = TaskType(
+            "sh", dot_product_dfg("sh"),
+            kernel=lambda ctx, args: None,
+            trips=lambda args: 256,
+            reads=lambda args: (
+                ReadSpec(nbytes=region_bytes, region="tbl", shared=True),),
+            writes=lambda args: (WriteSpec(nbytes=4),),
+        )
+        return Program("sh", {},
+                       [tt.instantiate({"i": i}) for i in range(num_tasks)])
+
+    def test_multicast_reduces_dram_reads(self):
+        on = Delta(default_delta_config(lanes=4)).run(self.shared_program())
+        flags = FeatureFlags(multicast=False)
+        off = Delta(default_delta_config(lanes=4, features=flags)).run(
+            self.shared_program())
+        assert on.counters.get("dram.read_bytes") < \
+            off.counters.get("dram.read_bytes") / 2
+
+    def test_multicast_disabled_counts_duplicates(self):
+        flags = FeatureFlags(multicast=False)
+        off = Delta(default_delta_config(lanes=4, features=flags)).run(
+            self.shared_program())
+        assert off.counters.get("mcast.disabled_duplicate_fetches") > 0
+
+
+class TestPolicyConfigs:
+    @pytest.mark.parametrize("policy",
+                             ["work-aware", "round-robin", "random", "steal"])
+    def test_all_policies_complete(self, policy):
+        config = default_delta_config(lanes=4).with_policy(policy)
+        result = Delta(config).run(make_program(16))
+        assert result.tasks_executed == 16
+
+    def test_steal_policy_records_steals_on_skewed_arrivals(self):
+        # Block arrival order (all heavy tasks first to one lane under RR
+        # placement) creates steal opportunities.
+        tt = leaf_type(trips=512)
+        program = Program(
+            "skew", {}, [tt.instantiate({"i": i}) for i in range(16)])
+        config = default_delta_config(lanes=4).with_policy("steal")
+        result = Delta(config).run(program)
+        assert result.tasks_executed == 16
+
+
+class TestCounters:
+    def test_task_type_counters(self):
+        result = Delta(default_delta_config(lanes=2)).run(make_program(5))
+        assert result.counters.get("tasks.leaf") == 5
+
+    def test_dispatch_counters(self):
+        result = Delta(default_delta_config(lanes=2)).run(make_program(5))
+        assert result.counters.get("dispatch.submitted") == 5
+        assert result.counters.get("dispatch.completed") == 5

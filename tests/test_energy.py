@@ -1,0 +1,67 @@
+"""Tests for the energy model (repro.arch.energy)."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import default_baseline_config, default_delta_config
+from repro.arch.energy import EnergyParameters, estimate_energy
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta
+from repro.workloads.synthetic import SharedReadTasks, UniformTasks
+
+
+@pytest.fixture(scope="module")
+def delta_result():
+    w = UniformTasks(num_tasks=16, trips=128)
+    return Delta(default_delta_config(lanes=4)).run(w.build_program())
+
+
+def test_all_components_nonnegative(delta_result):
+    breakdown = estimate_energy(delta_result)
+    for label, nj in breakdown.rows():
+        assert nj >= 0, label
+
+
+def test_total_is_sum(delta_result):
+    b = estimate_energy(delta_result)
+    assert b.total == pytest.approx(
+        b.compute + b.scratchpad + b.noc + b.dram + b.config + b.dispatch
+        + b.static)
+
+
+def test_dram_energy_tracks_bytes(delta_result):
+    b = estimate_energy(delta_result)
+    expected = delta_result.dram_bytes * EnergyParameters().dram_per_byte
+    assert b.dram == pytest.approx(expected * 1e-3)
+
+
+def test_data_movement_subset(delta_result):
+    b = estimate_energy(delta_result)
+    assert b.data_movement <= b.total
+    assert b.data_movement == pytest.approx(b.scratchpad + b.noc + b.dram)
+
+
+def test_custom_parameters_scale(delta_result):
+    base = estimate_energy(delta_result)
+    doubled = dataclasses.replace(EnergyParameters(), dram_per_byte=30.0)
+    assert estimate_energy(delta_result, doubled).dram == \
+        pytest.approx(2 * base.dram)
+
+
+def test_multicast_saves_energy():
+    w = SharedReadTasks(num_tasks=24, region_bytes=8192)
+    delta = Delta(default_delta_config(lanes=4)).run(w.build_program())
+    static = StaticParallel(default_baseline_config(lanes=4)).run(
+        w.build_program())
+    assert estimate_energy(delta).total < estimate_energy(static).total
+    assert estimate_energy(delta).dram < estimate_energy(static).dram
+
+
+def test_compute_energy_counts_trips(delta_result):
+    b = estimate_energy(delta_result)
+    trips = sum(v for k, v in delta_result.counters.items()
+                if k.endswith(".trips"))
+    params = EnergyParameters()
+    assert b.compute == pytest.approx(
+        trips * params.ops_per_trip * params.fu_op * 1e-3)

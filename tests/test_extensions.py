@@ -1,0 +1,115 @@
+"""Tests for the extension features: config affinity and stream prefetch."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import FeatureFlags, default_delta_config
+from repro.core.delta import Delta
+from repro.workloads.synthetic import (
+    ConfigThrash,
+    SharedReadTasks,
+    UniformTasks,
+)
+
+
+def thrash_config(lanes=4, config_cycles=512, cache_entries=1,
+                  features=None):
+    cfg = default_delta_config(lanes=lanes,
+                               features=features or FeatureFlags())
+    return dataclasses.replace(
+        cfg, lane=dataclasses.replace(cfg.lane,
+                                      config_cycles=config_cycles,
+                                      config_cache_entries=cache_entries))
+
+
+def config_misses(result):
+    return sum(v for k, v in result.counters.items()
+               if k.endswith(".config_misses"))
+
+
+class TestConfigAffinity:
+    def test_reduces_reconfigurations_in_regime(self):
+        w = ConfigThrash(num_tasks=48, num_types=4)
+        base = Delta(thrash_config()).run(w.build_program())
+        aff = Delta(thrash_config(
+            features=FeatureFlags(config_affinity=True))).run(
+            w.build_program())
+        w.check(aff.state)
+        assert config_misses(aff) < config_misses(base)
+        assert aff.cycles <= base.cycles
+        assert aff.counters.get("dispatch.affinity_matches") > 0
+
+    def test_functional_results_unchanged(self):
+        w = ConfigThrash(num_tasks=32, num_types=3)
+        result = Delta(thrash_config(
+            features=FeatureFlags(config_affinity=True))).run(
+            w.build_program())
+        w.check(result.state)
+
+    def test_off_by_default(self):
+        w = ConfigThrash(num_tasks=16)
+        result = Delta(thrash_config()).run(w.build_program())
+        assert result.counters.get("dispatch.affinity_matches") == 0
+
+    def test_single_type_workload_unaffected(self):
+        w = UniformTasks(num_tasks=16)
+        base = Delta(default_delta_config(lanes=4)).run(w.build_program())
+        aff = Delta(default_delta_config(
+            lanes=4,
+            features=FeatureFlags(config_affinity=True))).run(
+            w.build_program())
+        # One type everywhere: affinity cannot change the miss count.
+        assert config_misses(aff) == config_misses(base)
+
+
+class TestPrefetch:
+    def test_prefetch_used_and_faster_on_latency_bound_tasks(self):
+        w = UniformTasks(num_tasks=48, trips=96)
+        base = Delta(default_delta_config(lanes=4)).run(w.build_program())
+        pf = Delta(default_delta_config(
+            lanes=4, features=FeatureFlags(prefetch=True))).run(
+            w.build_program())
+        w.check(pf.state)
+        assert pf.counters.get("prefetch.used") > 0
+        assert pf.cycles <= base.cycles * 1.02  # never materially worse
+
+    def test_prefetch_off_by_default(self):
+        w = UniformTasks(num_tasks=8)
+        result = Delta(default_delta_config(lanes=2)).run(
+            w.build_program())
+        assert result.counters.get("prefetch.issued") == 0
+
+    def test_prefetch_skips_shared_only_tasks(self):
+        w = SharedReadTasks(num_tasks=12, trips=64)
+        # Shared region is multicast; the private read is tiny. Prefetch
+        # should still behave correctly.
+        result = Delta(default_delta_config(
+            lanes=4, features=FeatureFlags(prefetch=True))).run(
+            w.build_program())
+        w.check(result.state)
+
+    def test_prefetch_functional_correctness(self):
+        w = UniformTasks(num_tasks=24, trips=64)
+        result = Delta(default_delta_config(
+            lanes=2, features=FeatureFlags(prefetch=True))).run(
+            w.build_program())
+        w.check(result.state)
+
+    def test_prefetch_bytes_counted(self):
+        w = UniformTasks(num_tasks=24, trips=128)
+        result = Delta(default_delta_config(
+            lanes=2, features=FeatureFlags(prefetch=True))).run(
+            w.build_program())
+        if result.counters.get("prefetch.used"):
+            assert result.counters.get("prefetch.bytes") > 0
+
+
+class TestFeatureLabels:
+    def test_labels_include_extensions(self):
+        flags = FeatureFlags(config_affinity=True, prefetch=True)
+        assert "+affinity" in flags.label()
+        assert "+prefetch" in flags.label()
+
+    def test_base_label(self):
+        assert FeatureFlags(False, False, False).label() == "base"

@@ -1,0 +1,137 @@
+"""Failure-injection tests: the simulator must fail loudly and precisely.
+
+A modeling bug that silently corrupts results is worse than a crash, so
+these tests check that injected faults (broken kernels, impossible
+configurations, oversized regions, stalls) surface as the *right* error
+with diagnostic content — not as wrong numbers.
+"""
+
+import pytest
+
+from repro.arch.config import (
+    FabricConfig,
+    LaneConfig,
+    MachineConfig,
+    default_baseline_config,
+    default_delta_config,
+)
+from repro.arch.mapper import MappingError
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta, ExecutionStalled
+from repro.core.program import Program
+from repro.core.task import TaskType
+from repro.core.annotations import ReadSpec, WriteSpec
+from repro.arch.dfg import cholesky_update_dfg, dot_product_dfg
+from repro.workloads.synthetic import SharedReadTasks, UniformTasks
+
+
+def make_program(kernel, trips=64, reads=None, name="inj"):
+    tt = TaskType(
+        name=name, dfg=dot_product_dfg(name), kernel=kernel,
+        trips=lambda args: trips,
+        reads=reads or (lambda args: (ReadSpec(nbytes=trips * 4),)),
+        writes=lambda args: (WriteSpec(nbytes=4),),
+    )
+    return Program(name, {}, [tt.instantiate({"i": i}) for i in range(4)])
+
+
+class TestKernelFaults:
+    def test_kernel_exception_propagates_from_delta(self):
+        def bad_kernel(ctx, args):
+            raise ZeroDivisionError("injected kernel fault")
+
+        with pytest.raises(ZeroDivisionError, match="injected"):
+            Delta(default_delta_config(lanes=2)).run(
+                make_program(bad_kernel))
+
+    def test_kernel_exception_propagates_from_static(self):
+        def bad_kernel(ctx, args):
+            raise ValueError("injected static fault")
+
+        with pytest.raises(ValueError, match="injected static"):
+            StaticParallel(default_baseline_config(lanes=2)).run(
+                make_program(bad_kernel))
+
+    def test_cost_model_exception_propagates(self):
+        tt = TaskType(
+            name="badcost", dfg=dot_product_dfg("badcost"),
+            kernel=lambda ctx, args: None,
+            trips=lambda args: args["missing_key"],  # KeyError at runtime
+        )
+        program = Program("badcost", {}, [tt.instantiate()])
+        with pytest.raises(KeyError):
+            Delta(default_delta_config(lanes=1)).run(program)
+
+
+class TestStructuralFaults:
+    def test_unmappable_dfg_raises_mapping_error(self):
+        # Cholesky kernel needs MUL cells; a MUL-free fabric cannot host it.
+        config = MachineConfig(
+            lanes=2,
+            lane=LaneConfig(fabric=FabricConfig(rows=3, cols=3,
+                                                mul_ratio=0.0)))
+        tt = TaskType(
+            name="needs_mul", dfg=cholesky_update_dfg("needsmul"),
+            kernel=lambda ctx, args: None, trips=lambda args: 8)
+        program = Program("nm", {}, [tt.instantiate()])
+        with pytest.raises(MappingError):
+            Delta(config).run(program)
+
+    def test_stall_diagnostics_name_outstanding_and_queues(self):
+        with pytest.raises(ExecutionStalled) as excinfo:
+            Delta(default_delta_config(lanes=2)).run(
+                UniformTasks(num_tasks=8).build_program(), max_cycles=5)
+        message = str(excinfo.value)
+        assert "tasks outstanding" in message
+        assert "queues" in message
+        assert "cycle" in message
+
+    def test_static_stall_uses_same_exception(self):
+        with pytest.raises(ExecutionStalled):
+            StaticParallel(default_baseline_config(lanes=1)).run(
+                UniformTasks(num_tasks=8).build_program(), max_cycles=5)
+
+
+class TestCapacityFaults:
+    def test_oversized_shared_region_streams_through(self):
+        """A shared region larger than the scratchpad must not crash —
+        it is fetched (mcast.too_large) but never becomes resident."""
+        config = default_delta_config(lanes=2)
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, lane=dataclasses.replace(config.lane,
+                                             spad_bytes=4096))
+        w = SharedReadTasks(num_tasks=6, region_bytes=64 * 1024, trips=64)
+        result = Delta(config).run(w.build_program())
+        w.check(result.state)
+        assert result.counters.get("mcast.too_large") > 0
+
+    def test_prefetch_survives_tiny_scratchpad(self):
+        import dataclasses
+
+        from repro.arch.config import FeatureFlags
+
+        config = default_delta_config(
+            lanes=2, features=FeatureFlags(prefetch=True))
+        config = dataclasses.replace(
+            config, lane=dataclasses.replace(config.lane, spad_bytes=512))
+        w = UniformTasks(num_tasks=12, trips=512)  # reads 2 KiB > spad
+        result = Delta(config).run(w.build_program())
+        w.check(result.state)  # prefetch skipped, correctness intact
+
+
+class TestProgramFaults:
+    def test_empty_program_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="no initial tasks"):
+            Program("empty", {}, [])
+
+    def test_negative_read_rejected_at_resolution(self):
+        tt = TaskType(
+            name="neg", dfg=dot_product_dfg("neg"),
+            kernel=lambda ctx, args: None,
+            trips=lambda args: 4,
+            reads=lambda args: (ReadSpec(nbytes=-1),))
+        program = Program("neg", {}, [tt.instantiate()])
+        with pytest.raises(ValueError, match="nbytes"):
+            Delta(default_delta_config(lanes=1)).run(program)

@@ -1,0 +1,335 @@
+"""Unit tests for the discrete-event kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert env.now == 5
+    assert p.value == 5
+
+
+def test_zero_delay_timeout_runs_same_cycle():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(0)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(waiter(3, "c"))
+    env.process(waiter(1, "a"))
+    env.process(waiter(2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_tiebreak_for_simultaneous_events():
+    env = Environment()
+    order = []
+
+    def waiter(tag):
+        yield env.timeout(7)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        env.process(waiter(tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_process_waits_on_event_value():
+    env = Environment()
+    gate = env.event()
+    results = []
+
+    def waiter():
+        value = yield gate
+        results.append(value)
+
+    def opener():
+        yield env.timeout(4)
+        gate.succeed("opened")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert results == ["opened"]
+    assert env.now == 4
+
+
+def test_event_double_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_inside_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    gate.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_process_completion_is_waitable():
+    env = Environment()
+
+    def child():
+        yield env.timeout(10)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == 43
+    assert env.now == 10
+
+
+def test_process_exception_propagates_in_strict_mode():
+    env = Environment(strict=True)
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("modeling bug")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="modeling bug"):
+        env.run()
+
+
+def test_process_exception_fails_event_in_lenient_mode():
+    env = Environment(strict=False)
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("contained")
+
+    p = env.process(bad())
+    env.run()
+    assert p.ok is False
+    assert isinstance(p.value, ValueError)
+
+
+def test_yielding_non_event_is_error():
+    env = Environment(strict=True)
+
+    def bad():
+        yield 5  # type: ignore[misc]
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="must.*yield Event"):
+        env.run()
+
+
+def test_run_until_pauses_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+
+    env.process(proc())
+    env.run(until=30)
+    assert env.now == 30
+    env.run()
+    assert env.now == 100
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        procs = [env.process(child(3, "a")), env.process(child(1, "b"))]
+        values = yield env.all_of(procs)
+        return values
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == ["a", "b"]
+    assert env.now == 3
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def parent():
+        values = yield env.all_of([])
+        return values
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == []
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        value = yield env.any_of(
+            [env.process(child(9, "slow")), env.process(child(2, "fast"))])
+        return value
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "fast"
+
+
+def test_any_of_empty_is_error():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.any_of([])
+
+
+def test_interrupt_wakes_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, env.now))
+
+    def interrupter(target):
+        yield env.timeout(5)
+        target.interrupt("reconfigure")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [("interrupted", "reconfigure", 5)]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10)
+            log.append("timeout fired")
+        except Interrupt:
+            yield env.timeout(100)
+            log.append(("resumed", env.now))
+
+    def interrupter(target):
+        yield env.timeout(5)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    # The original timeout at t=10 must not resume the process early.
+    assert log == [("resumed", 105)]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(17)
+
+    env.process(proc())
+    assert env.peek() == 0  # process bootstrap event
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_event_cross_environment_rejected():
+    env_a = Environment()
+    env_b = Environment()
+    foreign = env_b.timeout(1)
+
+    def proc():
+        yield foreign
+
+    env_a.process(proc())
+    with pytest.raises(SimulationError, match="another Environment"):
+        env_a.run()
+
+
+def test_callback_after_processed_still_runs():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    env.run()
+    assert seen == ["v"]

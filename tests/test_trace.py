@@ -1,0 +1,118 @@
+"""Tests for the trace infrastructure (repro.sim.trace) and integration."""
+
+import json
+
+import pytest
+
+from repro.arch.config import default_baseline_config, default_delta_config
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta
+from repro.sim.trace import NullTracer, TraceEvent, Tracer
+from repro.workloads.synthetic import ChainTasks, SharedReadTasks, UniformTasks
+
+
+class TestTracer:
+    def test_span_recorded(self):
+        t = Tracer()
+        t.span("task", "t0", "lane0", 10, 50, trips=64)
+        assert len(t.events) == 1
+        e = t.events[0]
+        assert e.duration == 40
+        assert e.meta["trips"] == 64
+
+    def test_instant_has_zero_duration(self):
+        t = Tracer()
+        t.instant("steal", "s", "lane1", 7)
+        assert t.events[0].duration == 0.0
+        assert t.events[0].end is None
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Tracer().span("task", "x", "lane0", 10, 5)
+
+    def test_null_tracer_records_nothing(self):
+        t = NullTracer()
+        t.span("task", "x", "lane0", 0, 1)
+        t.instant("i", "x", "lane0", 0)
+        assert t.events == []
+
+    def test_queries(self):
+        t = Tracer()
+        t.span("task", "a", "lane0", 0, 10)
+        t.span("task", "b", "lane0", 10, 30)
+        t.span("config", "c", "lane1", 0, 5)
+        assert t.busy_time("lane0") == 30
+        assert t.busy_time("lane1", "config") == 5
+        assert t.lanes() == ["lane0", "lane1"]
+        assert len(t.by_kind("task")) == 2
+        assert t.summarize() == {"task": 2, "config": 1}
+
+    def test_chrome_trace_format(self):
+        t = Tracer()
+        t.span("task", "a", "lane0", 0, 10)
+        t.instant("steal", "s", "lane1", 3)
+        doc = t.to_chrome_trace()
+        events = doc["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        metas = [e for e in events if e.get("ph") == "M"]
+        assert len(spans) == 1 and spans[0]["dur"] == 10
+        assert len(instants) == 1
+        assert len(metas) == 2  # two lanes named
+        json.dumps(doc)  # serializable
+
+    def test_write_chrome_trace(self, tmp_path):
+        t = Tracer()
+        t.span("task", "a", "lane0", 0, 1)
+        path = tmp_path / "trace.json"
+        t.write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+
+
+class TestDeltaTracing:
+    def test_disabled_by_default(self):
+        result = Delta(default_delta_config(lanes=2)).run(
+            UniformTasks(num_tasks=4).build_program())
+        assert result.trace is None
+
+    def test_task_spans_cover_all_tasks(self):
+        result = Delta(default_delta_config(lanes=2)).run(
+            UniformTasks(num_tasks=6).build_program(), trace=True)
+        tasks = result.trace.by_kind("task")
+        assert len(tasks) == 6
+        assert all(e.duration > 0 for e in tasks)
+
+    def test_config_spans_present(self):
+        result = Delta(default_delta_config(lanes=2)).run(
+            UniformTasks(num_tasks=4).build_program(), trace=True)
+        assert result.trace.by_kind("config")
+
+    def test_shared_read_instants(self):
+        result = Delta(default_delta_config(lanes=2)).run(
+            SharedReadTasks(num_tasks=6).build_program(), trace=True)
+        shared = result.trace.by_kind("shared-read")
+        assert len(shared) == 6
+        assert any(e.meta["hit"] for e in shared)
+
+    def test_pipelined_tasks_overlap_in_trace(self):
+        result = Delta(default_delta_config(lanes=4)).run(
+            ChainTasks(depth=4, trips=2048).build_program(), trace=True)
+        spans = sorted(result.trace.by_kind("task"), key=lambda e: e.start)
+        overlaps = any(a.end > b.start
+                       for a, b in zip(spans, spans[1:]))
+        assert overlaps, "chain stages should overlap when pipelined"
+
+
+class TestStaticTracing:
+    def test_phase_and_task_spans(self):
+        result = StaticParallel(default_baseline_config(lanes=2)).run(
+            UniformTasks(num_tasks=4).build_program(), trace=True)
+        assert len(result.trace.by_kind("task")) == 4
+        assert len(result.trace.by_kind("phase")) == 1
+
+    def test_task_spans_within_run(self):
+        result = StaticParallel(default_baseline_config(lanes=2)).run(
+            UniformTasks(num_tasks=4).build_program(), trace=True)
+        for e in result.trace.by_kind("task"):
+            assert 0 <= e.start <= e.end <= result.cycles

@@ -1,0 +1,183 @@
+"""Workload-suite tests: functional correctness on both machines.
+
+These are the project's integration tests: every evaluation workload (at
+reduced sizes where supported) runs on Delta and on the static baseline,
+and the simulated state must match the workload's reference
+implementation exactly.
+"""
+
+import pytest
+
+from repro.arch.config import default_baseline_config, default_delta_config
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta
+from repro.core.program import expand_program
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.base import WorkloadError
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.cholesky import CholeskyWorkload
+from repro.workloads.histogram import HistogramWorkload
+from repro.workloads.knn import KnnWorkload
+from repro.workloads.mergesort import MergesortWorkload
+from repro.workloads.registry import workload_names
+from repro.workloads.spmm import SpmmWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.stencil_amr import StencilAmrWorkload
+from repro.workloads.triangle import TriangleWorkload
+from repro.workloads.wavefront import WavefrontWorkload
+
+# Reduced-size instances keep the full matrix of (workload x machine)
+# fast while exercising identical code paths.
+SMALL_WORKLOADS = [
+    SpmvWorkload(num_rows=64, num_cols=64, max_nnz=24),
+    SpmmWorkload(num_rows=32, num_cols=32, width=8),
+    BfsWorkload(num_vertices=128),
+    MergesortWorkload(n=1024, leaf=128),
+    CholeskyWorkload(tiles=4, tile_size=8),
+    WavefrontWorkload(tiles=4, tile_size=16),
+    TriangleWorkload(num_vertices=96),
+    HistogramWorkload(n=2048, bins=32, chunks=8),
+    KnnWorkload(num_points=512, num_queries=8, chunks=8),
+    StencilAmrWorkload(num_tiles=12, max_side=32),
+]
+
+
+@pytest.mark.parametrize("workload", SMALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_delta_functional_correctness(workload):
+    result = Delta(default_delta_config(lanes=4)).run(
+        workload.build_program())
+    workload.check(result.state)
+
+
+@pytest.mark.parametrize("workload", SMALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_static_functional_correctness(workload):
+    result = StaticParallel(default_baseline_config(lanes=4)).run(
+        workload.build_program())
+    workload.check(result.state)
+
+
+@pytest.mark.parametrize("workload", SMALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_build_program_is_fresh_each_call(workload):
+    """Two builds must not share mutable state."""
+    p1 = workload.build_program()
+    p2 = workload.build_program()
+    assert p1.state is not p2.state
+    assert p1.initial_tasks[0] is not p2.initial_tasks[0]
+
+
+@pytest.mark.parametrize("workload", SMALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_expansion_matches_delta_task_count(workload):
+    expanded = expand_program(workload.build_program())
+    result = Delta(default_delta_config(lanes=4)).run(
+        workload.build_program())
+    assert result.tasks_executed == expanded.task_count
+
+
+@pytest.mark.parametrize("workload", SMALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_describe_has_required_fields(workload):
+    d = workload.describe()
+    assert d["name"] == workload.name
+    assert "mechanisms" in d
+
+
+def test_registry_contains_full_suite():
+    names = workload_names()
+    for expected in ("spmv", "spmm", "bfs", "mergesort", "cholesky",
+                     "wavefront", "triangle", "histogram", "knn",
+                     "stencil-amr"):
+        assert expected in names
+    assert len(all_workloads()) == 10
+
+
+def test_registry_micro_workloads_excluded_from_suite():
+    suite_names = {w.name for w in all_workloads()}
+    assert not any(n.startswith("micro") for n in suite_names)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_workload("nope")
+
+
+def test_check_raises_on_wrong_state():
+    w = SpmvWorkload(num_rows=32, num_cols=32)
+    program = w.build_program()
+    program.state["y"][:] = -999
+    with pytest.raises(WorkloadError):
+        w.check(program.state)
+
+
+def test_verify_result_boolean():
+    w = HistogramWorkload(n=512, bins=16, chunks=4)
+    assert w.verify_result({"result": None, "partials": {}}) is False
+
+
+class TestWorkloadDeterminism:
+    def test_same_seed_same_inputs(self):
+        a = SpmvWorkload(num_rows=32, num_cols=32, seed=5)
+        b = SpmvWorkload(num_rows=32, num_cols=32, seed=5)
+        assert (a.matrix.col_idx == b.matrix.col_idx).all()
+        assert (a.x == b.x).all()
+
+    def test_different_seed_different_inputs(self):
+        a = SpmvWorkload(num_rows=64, num_cols=64, seed=1)
+        b = SpmvWorkload(num_rows=64, num_cols=64, seed=2)
+        assert not (a.matrix.row_ptr == b.matrix.row_ptr).all() or \
+            not (a.x == b.x).all()
+
+    def test_simulation_cycles_deterministic(self):
+        w = TriangleWorkload(num_vertices=96)
+        r1 = Delta(default_delta_config(lanes=4)).run(w.build_program())
+        r2 = Delta(default_delta_config(lanes=4)).run(w.build_program())
+        assert r1.cycles == r2.cycles
+
+
+class TestWorkloadStructure:
+    def test_spmv_row_skew_exists(self):
+        w = SpmvWorkload()
+        nnz = [w.matrix.row_nnz(r) for r in range(w.num_rows)]
+        assert max(nnz) > 4 * (sum(nnz) / len(nnz))
+
+    def test_bfs_reaches_every_vertex(self):
+        w = BfsWorkload(num_vertices=128)
+        assert len(w.reference()) == 128  # chain guarantees connectivity
+
+    def test_mergesort_requires_divisible_leaf(self):
+        with pytest.raises(ValueError):
+            MergesortWorkload(n=1000, leaf=256)
+
+    def test_histogram_requires_power_of_two_chunks(self):
+        with pytest.raises(ValueError):
+            HistogramWorkload(chunks=12)
+
+    def test_cholesky_reference_is_factor(self):
+        import numpy as np
+
+        w = CholeskyWorkload(tiles=3, tile_size=4)
+        factor = w.reference()
+        assert np.allclose(factor @ factor.T, w.matrix)
+
+    def test_wavefront_chain_depth(self):
+        w = WavefrontWorkload(tiles=3, tile_size=8)
+        expanded = expand_program(w.build_program())
+        # Root + diagonal wavefront: max depth = 2*(tiles-1) + 1.
+        assert len(expanded.phases) == 2 * (3 - 1) + 2
+
+    def test_triangle_count_positive(self):
+        assert TriangleWorkload(num_vertices=96).reference() > 0
+
+    def test_knn_reference_sorted_by_distance(self):
+        w = KnnWorkload(num_points=128, num_queries=4, chunks=4)
+        ref = w.reference()
+        assert len(ref) == 4
+        assert all(len(r) == w.k for r in ref)
+
+    def test_stencil_sides_skewed(self):
+        w = StencilAmrWorkload(num_tiles=30)
+        areas = sorted(s * s for s in w.sides)
+        assert areas[-1] > 8 * areas[0]
