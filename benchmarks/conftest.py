@@ -3,15 +3,46 @@
 Each ``bench_*.py`` regenerates one table/figure from the paper
 reconstruction (see DESIGN.md section 6). Reports are printed and also
 written to ``results/<id>.txt`` so the artifacts survive output capture.
+
+``--repro-jobs N`` fans the suite-based benchmarks out over N worker
+processes (it exports ``REPRO_JOBS``, which ``run_suite`` honours when no
+explicit ``jobs`` argument is given); results are bit-identical to a
+serial run — see docs/evaluation.md.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-jobs", type=int, default=None, metavar="N",
+        help="worker processes for suite-based benchmarks "
+             "(default: serial, or $REPRO_JOBS)")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _export_repro_jobs(request):
+    """Export --repro-jobs as REPRO_JOBS for the duration of the session."""
+    jobs = request.config.getoption("--repro-jobs")
+    if not jobs:
+        yield
+        return
+    previous = os.environ.get("REPRO_JOBS")
+    os.environ["REPRO_JOBS"] = str(jobs)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_JOBS", None)
+        else:
+            os.environ["REPRO_JOBS"] = previous
 
 
 @pytest.fixture

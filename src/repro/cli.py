@@ -7,6 +7,8 @@ Commands:
   for lanes, policy, machine, tracing, feature ablation).
 - ``compare WORKLOAD``          — Delta vs the static baseline.
 - ``suite``                     — the full evaluation suite (F1 data).
+- ``eval``                      — the suite through the parallel, cached
+  harness (``--jobs``, ``--no-cache``, ``--clear-cache``).
 - ``experiment ID``             — run one experiment (T1..T3, F1..F10, A1).
 - ``show WORKLOAD``             — DOT / ASCII views of a workload's task
   graph and kernels.
@@ -78,6 +80,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="run the full evaluation suite")
     p_suite.add_argument("--lanes", type=int, default=8)
+    p_suite.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: serial, or "
+                              "$REPRO_JOBS)")
+
+    p_eval = sub.add_parser(
+        "eval", help="evaluation suite via the parallel, cached harness")
+    p_eval.add_argument("--lanes", type=int, default=8)
+    p_eval.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: os.cpu_count())")
+    p_eval.add_argument("--timeout", type=float, default=None,
+                        help="per-point timeout in seconds; a timed-out "
+                             "point is recomputed serially")
+    p_eval.add_argument("--workloads", nargs="*", metavar="NAME",
+                        help="subset of workloads (default: the full "
+                             "evaluation suite)")
+    p_eval.add_argument("--no-cache", action="store_true",
+                        help="always simulate; do not read or write the "
+                             "result cache")
+    p_eval.add_argument("--clear-cache", action="store_true",
+                        help="drop every cached result before running")
+    p_eval.add_argument("--cache-dir", metavar="DIR",
+                        help="cache location (default: .repro-cache/ or "
+                             "$REPRO_CACHE_DIR)")
 
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("experiment_id",
@@ -153,13 +178,53 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    comparisons = run_suite(lanes=args.lanes)
+    comparisons = run_suite(lanes=args.lanes, jobs=args.jobs)
     rows = [c.row() for c in comparisons]
     print(format_table(
         ["workload", "delta cyc", "static cyc", "speedup",
          "delta CV", "static CV"], rows,
         title=f"evaluation suite ({args.lanes} lanes)"))
     print(f"geomean speedup: {suite_geomean(comparisons):.2f}x")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    import time
+
+    from repro.eval.cache import EvalCache
+    from repro.eval.parallel import default_jobs, run_suite_parallel
+    from repro.eval.runner import simulation_count
+
+    cache = None
+    if not args.no_cache:
+        cache = EvalCache(args.cache_dir) if args.cache_dir else EvalCache()
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"cleared {removed} cached result(s)")
+    workloads = None
+    if args.workloads:
+        workloads = [get_workload(name) for name in args.workloads]
+
+    jobs = args.jobs if args.jobs else default_jobs()
+    sims_before = simulation_count()
+    started = time.perf_counter()
+    comparisons = run_suite_parallel(lanes=args.lanes, workloads=workloads,
+                                     jobs=jobs, timeout=args.timeout,
+                                     cache=cache)
+    elapsed = time.perf_counter() - started
+    rows = [c.row() for c in comparisons]
+    print(format_table(
+        ["workload", "delta cyc", "static cyc", "speedup",
+         "delta CV", "static CV"], rows,
+        title=f"evaluation suite ({args.lanes} lanes, {jobs} jobs)"))
+    print(f"geomean speedup: {suite_geomean(comparisons):.2f}x")
+    # Simulations counted in this process: parallel points simulate in
+    # workers, so a fully-warm cache run reports 0 here either way.
+    local_sims = simulation_count() - sims_before
+    print(f"wall-clock {elapsed:.2f}s, {len(comparisons)} points, "
+          f"{local_sims} simulated in this process")
+    if cache is not None:
+        print(cache.stats())
     return 0
 
 
@@ -213,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "suite": _cmd_suite,
+        "eval": _cmd_eval,
         "experiment": _cmd_experiment,
         "show": _cmd_show,
     }

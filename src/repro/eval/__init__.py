@@ -6,7 +6,9 @@ under ``benchmarks/`` are thin wrappers and the numbers in EXPERIMENTS.md
 can be regenerated with one call.
 """
 
-from repro.eval.runner import Comparison, compare, run_suite
+from repro.eval.runner import Comparison, compare, run_suite, simulation_count
+from repro.eval.cache import EvalCache
+from repro.eval.parallel import run_suite_parallel
 from repro.eval.tables import format_table
 from repro.eval.figures import bar_chart, series_table
 
@@ -14,6 +16,9 @@ __all__ = [
     "Comparison",
     "compare",
     "run_suite",
+    "run_suite_parallel",
+    "simulation_count",
+    "EvalCache",
     "format_table",
     "bar_chart",
     "series_table",

@@ -1,0 +1,171 @@
+"""On-disk result cache for the evaluation harness.
+
+A cache entry is one pickled :class:`~repro.eval.runner.Comparison` keyed
+by a stable hash of everything that determines its value:
+
+- the workload's identity (class, name, scalar parameters, T2 description);
+- both :class:`~repro.arch.config.MachineConfig` instances, including the
+  seed (frozen dataclasses with exact-float reprs);
+- whether functional verification ran;
+- the *code version* — a digest of every ``repro`` source file — so any
+  change to the simulator invalidates every entry rather than silently
+  serving stale numbers;
+- the cache format version.
+
+This keying is sound because of the determinism contract (see
+:mod:`repro.util.fingerprint`): a point's result is a pure function of the
+key's inputs. Each entry stores its comparison fingerprint alongside the
+payload and is re-verified on load, so a corrupted or tampered entry is
+dropped and recomputed instead of poisoning a sweep.
+
+The default cache root is ``.repro-cache/`` at the repository root (next
+to ``pyproject.toml``), or ``~/.cache/repro-eval`` for installed copies;
+``REPRO_CACHE_DIR`` overrides both.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.util.fingerprint import comparison_fingerprint, stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.config import MachineConfig
+    from repro.eval.runner import Comparison
+    from repro.workloads.base import Workload
+
+#: Bump when the entry layout changes; old entries are simply never hit.
+CACHE_FORMAT = 1
+
+_SCALAR_TYPES = (bool, int, float, str, bytes, type(None))
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro`` source file, stable within one checkout.
+
+    Any edit to the simulator, workloads, or harness changes this value and
+    thereby invalidates the whole cache — the conservative choice: a cache
+    must never survive a change that could alter results.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest_parts = []
+    for source in sorted(package_root.rglob("*.py")):
+        digest_parts.append(source.relative_to(package_root).as_posix())
+        digest_parts.append(source.read_bytes())
+    return stable_hash(*digest_parts)
+
+
+def workload_cache_key(workload: "Workload") -> str:
+    """Stable identity of a workload instance.
+
+    Captures the class, the display name, every scalar constructor-style
+    attribute (sizes, seeds, rows-per-task, ...), and the T2 description
+    row. Generated inputs themselves are *not* hashed: they are a
+    deterministic function of these parameters (the determinism contract).
+    """
+    cls = type(workload)
+    scalars = sorted(
+        (k, v) for k, v in vars(workload).items()
+        if isinstance(v, _SCALAR_TYPES))
+    return stable_hash(f"{cls.__module__}.{cls.__qualname__}",
+                       workload.name, scalars,
+                       sorted(workload.describe().items()))
+
+
+def default_cache_root() -> Path:
+    """Resolve the cache directory (see module docstring)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "pyproject.toml").exists():
+        return repo_root / ".repro-cache"
+    return Path.home() / ".cache" / "repro-eval"
+
+
+class EvalCache:
+    """Content-addressed store of evaluation comparisons.
+
+    Tracks ``hits`` / ``misses`` / ``stores`` so callers (CLI, tests) can
+    report cache effectiveness; a corrupted entry counts as a miss.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying ----------------------------------------------------------
+
+    def key_for(self, workload: "Workload",
+                delta_config: "MachineConfig",
+                static_config: "MachineConfig",
+                verify: bool = True) -> str:
+        """Cache key for one (workload, machine pair, verify) point."""
+        return stable_hash(CACHE_FORMAT, code_version(),
+                           workload_cache_key(workload),
+                           delta_config, static_config, verify)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- storage ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional["Comparison"]:
+        """Load an entry, or None on miss/corruption (entry then dropped)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            comparison = entry["comparison"]
+            if entry["fingerprint"] != comparison_fingerprint(comparison):
+                raise ValueError("fingerprint mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated pickle, foreign object, failed fingerprint: drop the
+            # entry and let the caller recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return comparison
+
+    def put(self, key: str, comparison: "Comparison") -> None:
+        """Store an entry atomically (rename over a temp file)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        payload = {"fingerprint": comparison_fingerprint(comparison),
+                   "comparison": comparison}
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def stats(self) -> str:
+        """One-line hit/miss summary for CLI output."""
+        return (f"cache {self.root}: {self.hits} hits, "
+                f"{self.misses} misses, {self.stores} stored, "
+                f"{len(self)} entries")

@@ -101,9 +101,10 @@ def t2_workload_table(workloads: Optional[Sequence[Workload]] = None,
 
 def f1_headline_speedup(lanes: int = 8,
                         workloads: Optional[Sequence[Workload]] = None,
+                        jobs: Optional[int] = None,
                         ) -> ExperimentResult:
     """Per-workload Delta vs static speedup plus geomean (headline claim)."""
-    comparisons = run_suite(lanes=lanes, workloads=workloads)
+    comparisons = run_suite(lanes=lanes, workloads=workloads, jobs=jobs)
     labels = [c.workload for c in comparisons] + ["GEOMEAN"]
     values = [c.speedup for c in comparisons]
     values.append(suite_geomean(comparisons))
@@ -162,6 +163,7 @@ def f2_ablation(lanes: int = 8,
 
 def f3_lane_scaling(lane_counts: Sequence[int] = (2, 4, 8, 16, 32),
                     workloads: Optional[Sequence[Workload]] = None,
+                    jobs: Optional[int] = None,
                     ) -> ExperimentResult:
     """Speedup vs lane count: the gap grows as static imbalance compounds."""
     workloads = list(workloads) if workloads is not None else all_workloads()
@@ -171,7 +173,7 @@ def f3_lane_scaling(lane_counts: Sequence[int] = (2, 4, 8, 16, 32),
     base_delta = None
     base_static = None
     for lanes in lane_counts:
-        comparisons = run_suite(lanes=lanes, workloads=workloads)
+        comparisons = run_suite(lanes=lanes, workloads=workloads, jobs=jobs)
         delta_cycles = [c.delta.cycles for c in comparisons]
         static_cycles = [c.static.cycles for c in comparisons]
         if base_delta is None:
@@ -197,9 +199,10 @@ def f3_lane_scaling(lane_counts: Sequence[int] = (2, 4, 8, 16, 32),
 
 def f4_load_balance(lanes: int = 8,
                     workloads: Optional[Sequence[Workload]] = None,
+                    jobs: Optional[int] = None,
                     ) -> ExperimentResult:
     """Per-lane busy-cycle CV: TaskStream vs static partitioning."""
-    comparisons = run_suite(lanes=lanes, workloads=workloads)
+    comparisons = run_suite(lanes=lanes, workloads=workloads, jobs=jobs)
     rows = [[c.workload, f"{c.delta.imbalance_cv:.3f}",
              f"{c.static.imbalance_cv:.3f}",
              f"{c.delta.mean_lane_utilization:.2f}",
@@ -215,9 +218,10 @@ def f4_load_balance(lanes: int = 8,
 
 def f5_traffic(lanes: int = 8,
                workloads: Optional[Sequence[Workload]] = None,
+               jobs: Optional[int] = None,
                ) -> ExperimentResult:
     """DRAM/NoC traffic with and without structure recovery."""
-    comparisons = run_suite(lanes=lanes, workloads=workloads)
+    comparisons = run_suite(lanes=lanes, workloads=workloads, jobs=jobs)
     rows = []
     for c in comparisons:
         rows.append([
@@ -322,6 +326,7 @@ def t3_area(config: Optional[MachineConfig] = None) -> ExperimentResult:
 
 def f8_energy(lanes: int = 8,
               workloads: Optional[Sequence[Workload]] = None,
+              jobs: Optional[int] = None,
               ) -> ExperimentResult:
     """Energy comparison: structure recovery removes data movement.
 
@@ -331,7 +336,7 @@ def f8_energy(lanes: int = 8,
     """
     from repro.arch.energy import estimate_energy
 
-    comparisons = run_suite(lanes=lanes, workloads=workloads)
+    comparisons = run_suite(lanes=lanes, workloads=workloads, jobs=jobs)
     rows = []
     ratios = []
     for c in comparisons:

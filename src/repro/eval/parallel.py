@@ -1,0 +1,181 @@
+"""Parallel, cached fan-out of the evaluation loop.
+
+Every (workload, machine pair) point in a sweep is independent — the
+embarrassingly parallel structure task-graph runtimes exploit — so the
+suite fans ``compare()`` calls out over ``multiprocessing`` workers:
+
+1. resolve each point against the on-disk :class:`~repro.eval.cache
+   .EvalCache` (when one is given) — warm sweeps run zero simulations;
+2. submit the misses to a process pool (``--jobs`` workers, default
+   ``os.cpu_count()``), each worker re-running the exact serial
+   ``compare()`` path;
+3. any per-point failure — pickling, a per-point timeout, a crashed
+   worker, pool creation itself — falls back to recomputing that point
+   serially in the parent, so the parallel path can only ever be a
+   speedup, never a behaviour change.
+
+Results are field-identical to the serial path by the determinism
+contract: all randomness is seeded from the configuration
+(:mod:`repro.util.rng`), never from process state, so a worker process
+computes bit-for-bit the same :class:`Comparison` the parent would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Optional, Sequence
+
+from repro.arch.config import (
+    MachineConfig,
+    default_baseline_config,
+    default_delta_config,
+)
+from repro.eval.cache import EvalCache
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+#: One evaluation point: (workload, delta config, static config, verify).
+PointSpec = tuple  # (Workload, MachineConfig, MachineConfig, bool)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: every core."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a jobs request: None/0 honours ``REPRO_JOBS`` then 1.
+
+    The environment hook lets whole-suite callers (benchmarks, report
+    generation) opt into parallelism without threading a parameter through
+    every experiment signature.
+    """
+    if jobs is not None and jobs > 0:
+        return jobs
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            parsed = 0
+        if parsed > 0:
+            return parsed
+    return 1
+
+
+def _compare_point(spec: PointSpec):
+    """Worker entry: run one point through the ordinary serial path."""
+    from repro.eval.runner import compare
+
+    workload, delta_config, static_config, verify = spec
+    return compare(workload, delta_config, static_config, verify=verify)
+
+
+def _run_points_serial(points: Sequence[PointSpec]) -> list:
+    return [_compare_point(spec) for spec in points]
+
+
+def run_points(points: Sequence[PointSpec],
+               jobs: int,
+               timeout: Optional[float] = None) -> list:
+    """Evaluate points, fanning out over ``jobs`` worker processes.
+
+    ``timeout`` bounds each point's wall-clock seconds in the pool; a
+    point that exceeds it (or fails to pickle, or loses its worker) is
+    recomputed serially in the parent. Genuine simulation errors — a
+    workload failing functional verification, an invalid configuration —
+    therefore surface exactly as the serial path would raise them.
+    """
+    points = list(points)
+    if jobs <= 1 or len(points) <= 1:
+        return _run_points_serial(points)
+
+    results: list = [None] * len(points)
+    redo: list[int] = []
+    pool = None
+    try:
+        # fork (where available) shares the already-imported simulator;
+        # spawn works too because workers only need the repro package.
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(points)),
+                                   mp_context=context)
+        futures = [pool.submit(_compare_point, spec) for spec in points]
+        pool_broken = False
+        for index, future in enumerate(futures):
+            if pool_broken:
+                redo.append(index)
+                continue
+            try:
+                results[index] = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                redo.append(index)
+            except Exception:
+                # BrokenProcessPool poisons every later future; any
+                # other per-point error is retried serially so the
+                # serial path is the one that reports it.
+                from concurrent.futures.process import BrokenProcessPool
+
+                if isinstance(future.exception(), BrokenProcessPool):
+                    pool_broken = True
+                redo.append(index)
+    except Exception:
+        # Pool creation / submission failed (e.g. unpicklable workload):
+        # the whole batch falls back to serial.
+        redo = [i for i, r in enumerate(results) if r is None]
+    finally:
+        if pool is not None:
+            # wait=False: a worker stuck past its timeout must not block
+            # the fallback path; its point is recomputed in the parent.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    for index in redo:
+        results[index] = _compare_point(points[index])
+    return results
+
+
+def run_suite_parallel(lanes: int = 8,
+                       workloads: Optional[Sequence[Workload]] = None,
+                       jobs: Optional[int] = None,
+                       verify: bool = True,
+                       timeout: Optional[float] = None,
+                       cache: Optional[EvalCache] = None,
+                       delta_config: Optional[MachineConfig] = None) -> list:
+    """Parallel, cached equivalent of :func:`repro.eval.runner.run_suite`.
+
+    Returns one :class:`Comparison` per workload, in input order,
+    field-identical to the serial path. With a warm ``cache`` every point
+    is served from disk and no simulation runs at all.
+    """
+    workloads = list(workloads) if workloads is not None else all_workloads()
+    delta_config = delta_config or default_delta_config(lanes=lanes)
+    static_config = default_baseline_config(lanes=delta_config.lanes,
+                                            seed=delta_config.seed)
+
+    results: list = [None] * len(workloads)
+    pending: list[tuple[int, str, PointSpec]] = []
+    for index, workload in enumerate(workloads):
+        spec: PointSpec = (workload, delta_config, static_config, verify)
+        if cache is not None:
+            key = cache.key_for(workload, delta_config, static_config,
+                                verify)
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        else:
+            key = ""
+        pending.append((index, key, spec))
+
+    computed = run_points([spec for _i, _k, spec in pending],
+                          jobs=resolve_jobs(jobs), timeout=timeout)
+    for (index, key, _spec), comparison in zip(pending, computed):
+        results[index] = comparison
+        if cache is not None:
+            cache.put(key, comparison)
+    return results

@@ -8,9 +8,12 @@ abstract-only), the measured result, and the rendered table/figure.
 
 from __future__ import annotations
 
-import sys
+import argparse
+import os
+import tempfile
 import time
 from pathlib import Path
+from typing import Optional
 
 from repro.eval.experiments import (
     ABLATION_STEPS,
@@ -54,7 +57,53 @@ def _section(experiment_id: str, title: str, claim: str, measured: str,
             f"```\n{body}\n```\n")
 
 
-def generate(path: Path) -> str:
+def _harness_timing(jobs: Optional[int]) -> str:
+    """Measure serial vs parallel vs warm-cache wall-clock on the suite.
+
+    Run with the real evaluation suite so the recorded numbers are the
+    ones a sweep actually pays. Parallel numbers depend on the host's
+    core count, which is recorded alongside.
+    """
+    from repro.eval.cache import EvalCache
+    from repro.eval.parallel import run_suite_parallel
+    from repro.eval.runner import run_suite, simulation_count
+
+    par_jobs = jobs if jobs and jobs > 1 else 4
+    cores = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    run_suite(lanes=8, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_suite_parallel(lanes=8, jobs=par_jobs)
+    parallel_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = EvalCache(Path(tmp))
+        run_suite_parallel(lanes=8, jobs=1, cache=cache)
+        sims_before = simulation_count()
+        t0 = time.perf_counter()
+        run_suite_parallel(lanes=8, jobs=1, cache=cache)
+        warm_s = time.perf_counter() - t0
+        warm_sims = simulation_count() - sims_before
+
+    return (f"\n## Harness: parallel & cached evaluation\n\n"
+            f"Full 10-workload suite at 8 lanes "
+            f"(`python -m repro eval`), this host: {cores} CPU core(s).\n\n"
+            f"| mode | wall-clock | simulations |\n"
+            f"|---|---|---|\n"
+            f"| serial (`--jobs 1`) | {serial_s:.2f} s | 10 |\n"
+            f"| parallel (`--jobs {par_jobs}`) | {parallel_s:.2f} s "
+            f"| 10 (in workers) |\n"
+            f"| warm cache re-run | {warm_s:.2f} s | {warm_sims} |\n\n"
+            f"Parallel and serial results are field-identical "
+            f"(enforced by `tests/test_parallel_eval.py`); parallel "
+            f"speedup scales with the host's cores, and a warm cache "
+            f"skips simulation entirely. See `docs/evaluation.md`.\n")
+
+
+def generate(path: Path, jobs: Optional[int] = None) -> str:
     """Run all experiments and write the markdown report."""
     started = time.time()
     sections = []
@@ -78,7 +127,7 @@ def generate(path: Path) -> str:
         "to ~1.4; see 'structure exercised').",
         r.text))
 
-    r = f1_headline_speedup()
+    r = f1_headline_speedup(jobs=jobs)
     geo = suite_geomean(r.data)
     sections.append(_section(
         "F1", "headline speedup",
@@ -104,7 +153,7 @@ def generate(path: Path) -> str:
           "(spmv/spmm/triangle).",
         r.text))
 
-    r = f3_lane_scaling()
+    r = f3_lane_scaling(jobs=jobs)
     sections.append(_section(
         "F3", "lane scaling",
         "The benefit of dynamic structure recovery grows with parallelism "
@@ -116,7 +165,7 @@ def generate(path: Path) -> str:
         f"{r.data['delta_scaling'][-1]:.2f}x.",
         r.text))
 
-    r = f4_load_balance()
+    r = f4_load_balance(jobs=jobs)
     worst = max(r.data, key=lambda c: c.static.imbalance_cv)
     sections.append(_section(
         "F4", "load imbalance",
@@ -127,7 +176,7 @@ def generate(path: Path) -> str:
         f"{worst.delta.imbalance_cv:.3f}.",
         r.text))
 
-    r = f5_traffic()
+    r = f5_traffic(jobs=jobs)
     best = max(r.data, key=lambda c: c.traffic_ratio)
     sections.append(_section(
         "F5", "memory traffic",
@@ -160,7 +209,7 @@ def generate(path: Path) -> str:
         "(within noise); random is uniformly worst.",
         r.text))
 
-    r = f8_energy()
+    r = f8_energy(jobs=jobs)
     ratios = r.data["ratios"]
     sections.append(_section(
         "F8", "energy (extension experiment)",
@@ -216,6 +265,8 @@ def generate(path: Path) -> str:
         f"(analytical model, 28nm-class unit costs).",
         r.text))
 
+    sections.append(_harness_timing(jobs))
+
     elapsed = time.time() - started
     footer = (f"\n---\nGenerated in {elapsed:.0f}s of wall-clock "
               f"simulation (pure Python).\n")
@@ -226,9 +277,16 @@ def generate(path: Path) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
-        Path(__file__).resolve().parents[3] / "EXPERIMENTS.md")
-    generate(target)
+    parser = argparse.ArgumentParser(
+        description="regenerate EXPERIMENTS.md from live simulations")
+    parser.add_argument("path", nargs="?",
+                        default=Path(__file__).resolve().parents[3]
+                        / "EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for suite-based experiments")
+    args = parser.parse_args()
+    target = Path(args.path)
+    generate(target, jobs=args.jobs)
     print(f"wrote {target}")
 
 

@@ -3,12 +3,21 @@
 This is the core evaluation loop: build a fresh program for each machine
 (kernels mutate state), simulate, verify functional results against the
 workload's reference implementation, and return both run results.
+
+Sweeps go through :func:`run_suite`, which can fan points out over worker
+processes and serve repeats from the on-disk result cache (see
+:mod:`repro.eval.parallel` and :mod:`repro.eval.cache`); the serial path
+here remains the reference semantics that the parallel path must match
+field-for-field.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.cache import EvalCache
 
 from repro.arch.config import (
     MachineConfig,
@@ -34,6 +43,8 @@ class Comparison:
     @property
     def speedup(self) -> float:
         """Delta's speedup over the static-parallel design."""
+        if self.delta.cycles == 0:
+            return float("inf")
         return self.static.cycles / self.delta.cycles
 
     @property
@@ -51,15 +62,28 @@ class Comparison:
                 f"{self.static.imbalance_cv:.3f}"]
 
 
+#: Count of simulations run in this process — each compare() simulates the
+#: workload on both machines. Tests use this to assert that cache hits
+#: skip simulation entirely.
+_simulations = 0
+
+
+def simulation_count() -> int:
+    """How many compare() simulations this process has executed."""
+    return _simulations
+
+
 def compare(workload: Workload,
             delta_config: Optional[MachineConfig] = None,
             static_config: Optional[MachineConfig] = None,
             verify: bool = True) -> Comparison:
     """Simulate one workload on Delta and on the static baseline."""
+    global _simulations
     delta_config = delta_config or default_delta_config()
     static_config = static_config or default_baseline_config(
         lanes=delta_config.lanes, seed=delta_config.seed)
 
+    _simulations += 1
     delta_result = Delta(delta_config).run(workload.build_program())
     static_result = StaticParallel(static_config).run(
         workload.build_program())
@@ -71,9 +95,24 @@ def compare(workload: Workload,
 
 def run_suite(lanes: int = 8,
               workloads: Optional[Sequence[Workload]] = None,
-              verify: bool = True) -> list[Comparison]:
-    """Compare every evaluation workload at the given lane count."""
+              verify: bool = True,
+              jobs: Optional[int] = None,
+              timeout: Optional[float] = None,
+              cache: Optional["EvalCache"] = None) -> list[Comparison]:
+    """Compare every evaluation workload at the given lane count.
+
+    ``jobs`` > 1 fans points out over worker processes (``jobs=None``
+    honours the ``REPRO_JOBS`` environment variable, defaulting to the
+    serial path); ``cache`` serves repeated points from disk. Both paths
+    return field-identical results — see :mod:`repro.eval.parallel`.
+    """
+    from repro.eval.parallel import resolve_jobs, run_suite_parallel
+
     workloads = list(workloads) if workloads is not None else all_workloads()
+    if resolve_jobs(jobs) != 1 or cache is not None:
+        return run_suite_parallel(lanes=lanes, workloads=workloads,
+                                  jobs=jobs, verify=verify, timeout=timeout,
+                                  cache=cache)
     delta_config = default_delta_config(lanes=lanes)
     return [compare(w, delta_config, verify=verify) for w in workloads]
 

@@ -1,6 +1,12 @@
 """Shared utilities: deterministic RNG, validation helpers, small math."""
 
 from repro.util.rng import DeterministicRng
+from repro.util.fingerprint import (
+    comparison_fingerprint,
+    result_fingerprint,
+    result_stats,
+    stable_hash,
+)
 from repro.util.validate import (
     check_positive,
     check_non_negative,
@@ -18,6 +24,10 @@ from repro.util.stats import (
 
 __all__ = [
     "DeterministicRng",
+    "stable_hash",
+    "result_stats",
+    "result_fingerprint",
+    "comparison_fingerprint",
     "check_positive",
     "check_non_negative",
     "check_in_range",

@@ -1,0 +1,163 @@
+"""Tests for the parallel executor and the on-disk result cache.
+
+The contract under test (see docs/evaluation.md):
+
+- the parallel path returns *field-identical* results to the serial path;
+- a warm cache serves every point without running a single simulation;
+- a corrupted cache entry is dropped and recomputed, never served.
+"""
+
+import pickle
+
+import pytest
+
+from repro.arch.config import default_baseline_config, default_delta_config
+from repro.eval.cache import CACHE_FORMAT, EvalCache, workload_cache_key
+from repro.eval.parallel import resolve_jobs, run_suite_parallel
+from repro.eval.runner import run_suite, simulation_count
+from repro.util.fingerprint import comparison_fingerprint, result_stats
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.synthetic import SharedReadTasks, SkewedTasks
+
+LANES = 4
+
+
+def fast_workloads():
+    """Fresh instances each call — kernels mutate workload programs."""
+    return [SkewedTasks(num_tasks=24), SharedReadTasks(num_tasks=12)]
+
+
+def assert_field_identical(left, right):
+    """Every field an experiment reads must match bit-for-bit."""
+    assert [c.workload for c in left] == [c.workload for c in right]
+    for a, b in zip(left, right):
+        assert result_stats(a.delta) == result_stats(b.delta)
+        assert result_stats(a.static) == result_stats(b.static)
+        assert a.speedup == b.speedup
+        assert a.traffic_ratio == b.traffic_ratio
+        assert comparison_fingerprint(a) == comparison_fingerprint(b)
+
+
+class TestParallelExecutor:
+    def test_parallel_equals_serial_field_for_field(self):
+        serial = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=1)
+        parallel = run_suite_parallel(lanes=LANES,
+                                      workloads=fast_workloads(), jobs=4)
+        assert_field_identical(serial, parallel)
+
+    def test_run_suite_delegates_jobs(self):
+        serial = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=1)
+        parallel = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=2)
+        assert_field_identical(serial, parallel)
+
+    def test_timeout_falls_back_to_serial_recompute(self):
+        # A microscopic per-point budget forces every point down the
+        # fallback path; results must still be correct and complete.
+        serial = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=1)
+        squeezed = run_suite_parallel(lanes=LANES,
+                                      workloads=fast_workloads(), jobs=2,
+                                      timeout=1e-9)
+        assert_field_identical(serial, squeezed)
+
+    def test_unpicklable_workload_falls_back_to_serial(self):
+        workloads = fast_workloads()
+        # A lambda attribute defeats pickling, so the pool path cannot
+        # ship this workload; the batch must fall back to serial.
+        workloads[0].unpicklable = lambda: None
+        serial = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=1)
+        fallback = run_suite_parallel(lanes=LANES, workloads=workloads,
+                                      jobs=2)
+        assert_field_identical(serial, fallback)
+
+    def test_resolve_jobs_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        assert resolve_jobs(1) == 1
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert resolve_jobs(None) == 1
+
+
+class TestEvalCache:
+    def test_cache_hit_skips_simulation(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        cold = run_suite_parallel(lanes=LANES, workloads=fast_workloads(),
+                                  jobs=1, cache=cache)
+        assert cache.stores == len(cold)
+        before = simulation_count()
+        warm = run_suite_parallel(lanes=LANES, workloads=fast_workloads(),
+                                  jobs=1, cache=cache)
+        assert simulation_count() == before, \
+            "warm cache must not run any simulation"
+        assert cache.hits == len(warm)
+        assert_field_identical(cold, warm)
+
+    def test_corrupted_entry_falls_back_to_recompute(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        cold = run_suite_parallel(lanes=LANES, workloads=fast_workloads(),
+                                  jobs=1, cache=cache)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        before = simulation_count()
+        recomputed = run_suite_parallel(lanes=LANES,
+                                        workloads=fast_workloads(),
+                                        jobs=1, cache=cache)
+        assert simulation_count() == before + len(recomputed), \
+            "corrupted entries must be recomputed"
+        assert_field_identical(cold, recomputed)
+
+    def test_tampered_payload_fails_fingerprint_check(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        workload = SkewedTasks(num_tasks=24)
+        delta_cfg = default_delta_config(lanes=LANES)
+        static_cfg = default_baseline_config(lanes=LANES)
+        key = cache.key_for(workload, delta_cfg, static_cfg)
+        comparison = run_suite_parallel(lanes=LANES, workloads=[workload],
+                                        jobs=1, cache=cache)[0]
+        # Valid pickle, wrong contents: the stored fingerprint no longer
+        # matches, so the entry must be dropped, not served.
+        path = tmp_path / f"{key}.pkl"
+        entry = pickle.loads(path.read_bytes())
+        entry["comparison"].delta.cycles += 1
+        path.write_bytes(pickle.dumps(entry))
+        assert cache.get(key) is None
+        assert not path.exists()
+        fresh = run_suite_parallel(lanes=LANES,
+                                   workloads=[SkewedTasks(num_tasks=24)],
+                                   jobs=1, cache=cache)[0]
+        assert result_stats(fresh.delta) == result_stats(comparison.delta)
+
+    def test_key_distinguishes_configs_and_params(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        static = default_baseline_config(lanes=LANES)
+        base = cache.key_for(SpmvWorkload(), default_delta_config(LANES),
+                             static)
+        other_lanes = cache.key_for(SpmvWorkload(),
+                                    default_delta_config(8), static)
+        other_grain = cache.key_for(SpmvWorkload(rows_per_task=2),
+                                    default_delta_config(LANES), static)
+        assert len({base, other_lanes, other_grain}) == 3
+
+    def test_workload_cache_key_is_stable(self):
+        assert workload_cache_key(SpmvWorkload()) == \
+            workload_cache_key(SpmvWorkload())
+        assert isinstance(CACHE_FORMAT, int)
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        run_suite_parallel(lanes=LANES, workloads=fast_workloads(), jobs=1,
+                           cache=cache)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSpeedupGuard:
+    def test_zero_cycle_delta_yields_infinite_speedup(self):
+        comparison = run_suite(lanes=LANES,
+                               workloads=[SkewedTasks(num_tasks=24)])[0]
+        comparison.delta.cycles = 0
+        assert comparison.speedup == float("inf")
+        assert comparison.traffic_ratio > 0

@@ -333,3 +333,172 @@ def test_callback_after_processed_still_runs():
     ev.add_callback(lambda e: seen.append(e.value))
     env.run()
     assert seen == ["v"]
+
+
+# ---------------------------------------------------------------------------
+# Seeded randomized kernel tests: the DES kernel's ordering and aggregate
+# semantics must hold for arbitrary schedules, not just the hand-written
+# cases above. All randomness flows through DeterministicRng, so a failure
+# reproduces exactly from the seed in the parametrize list.
+
+from repro.util.rng import DeterministicRng  # noqa: E402
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_schedule_preserves_time_then_seq_order(seed):
+    """Events fire in (time, seq) order: by time, FIFO within a cycle."""
+    rng = DeterministicRng("sim-engine-schedule", seed)
+    env = Environment()
+    fired = []
+    delays = [rng.randint(0, 25) for _ in range(300)]
+
+    def waiter(index, delay):
+        yield env.timeout(delay)
+        fired.append((env.now, index))
+
+    for index, delay in enumerate(delays):
+        env.process(waiter(index, delay))
+    env.run()
+
+    assert len(fired) == len(delays)
+    # Non-decreasing time, and each event fired at its own delay.
+    assert [t for t, _i in fired] == sorted(t for t, _i in fired)
+    assert all(t == delays[i] for t, i in fired)
+    # FIFO tie-break: processes sharing a fire time keep creation order.
+    for tick in set(delays):
+        indices = [i for t, i in fired if t == tick]
+        assert indices == sorted(indices)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_all_of_tree_collects_in_input_order(seed):
+    """all_of over a random fan-in returns values in input order at the
+    max child time, regardless of completion order."""
+    rng = DeterministicRng("sim-engine-all-of", seed)
+    env = Environment()
+    delays = [rng.randint(0, 40) for _ in range(rng.randint(1, 20))]
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        procs = [env.process(child(d, f"v{i}"))
+                 for i, d in enumerate(delays)]
+        values = yield env.all_of(procs)
+        return values
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == [f"v{i}" for i in range(len(delays))]
+    assert env.now == max(delays)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_any_of_fires_on_earliest_child(seed):
+    """any_of resolves with the earliest child's value at its time."""
+    rng = DeterministicRng("sim-engine-any-of", seed)
+    env = Environment()
+    # Distinct delays so "earliest" is unambiguous.
+    delays = rng.sample(range(1, 60), rng.randint(2, 12))
+
+    def child(delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent():
+        value = yield env.any_of([env.process(child(d)) for d in delays])
+        return value
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == min(delays)
+
+
+def test_all_of_with_already_fired_children():
+    env = Environment()
+    pre_a = env.event()
+    pre_a.succeed("early-a")
+    pre_b = env.event()
+    pre_b.succeed("early-b")
+    env.run()  # both children processed before the aggregate exists
+    assert pre_a.processed and pre_b.processed
+
+    def parent():
+        values = yield env.all_of([pre_a, pre_b])
+        return values
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == ["early-a", "early-b"]
+
+
+def test_any_of_with_already_fired_child_wins_immediately():
+    env = Environment()
+    done = env.event()
+    done.succeed("already")
+    env.run()
+
+    def parent():
+        value = yield env.any_of([done, env.timeout(50)])
+        return value
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "already"
+
+
+def test_all_of_with_failed_child_fails_aggregate():
+    env = Environment(strict=False)
+    good = env.timeout(1, value="fine")
+    bad = env.event()
+    bad.fail(RuntimeError("child failed"))
+    caught = []
+
+    def parent():
+        try:
+            yield env.all_of([good, bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["child failed"]
+
+
+def test_any_of_with_failed_first_child_fails_aggregate():
+    env = Environment(strict=False)
+    bad = env.event()
+    bad.fail(RuntimeError("first failure wins"))
+    caught = []
+
+    def parent():
+        try:
+            yield env.any_of([bad, env.timeout(5)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["first failure wins"]
+
+
+def test_run_until_does_not_pop_the_next_event():
+    """Stopping at `until` leaves the future event queued, not consumed."""
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(50)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=10)
+    assert env.now == 10
+    assert fired == []
+    assert env.peek() == 50  # still on the heap, untouched
+    env.run(until=49)
+    assert fired == []
+    env.run()
+    assert fired == [50]
+    assert env.now == 50
