@@ -5,7 +5,7 @@ stack extreme skew on top of large shared operands, the combination the
 mechanisms target.
 """
 
-from repro.arch.config import default_baseline_config, default_delta_config
+from repro.arch.config import default_delta_config
 from repro.eval.runner import compare
 from repro.eval.tables import format_table
 from repro.workloads import get_workload

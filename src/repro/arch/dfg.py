@@ -19,9 +19,8 @@ The achieved II of a mapping is at least the max of both, plus congestion.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 
 class Op(enum.Enum):

@@ -12,8 +12,10 @@ it removes data movement", and data movement dominates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.result import RunResult
+if TYPE_CHECKING:  # pragma: no cover - typing only; arch stays below core
+    from repro.machine.result import RunResult
 
 
 @dataclass(frozen=True)
@@ -68,7 +70,7 @@ class EnergyBreakdown:
         ]
 
 
-def estimate_energy(result: RunResult,
+def estimate_energy(result: "RunResult",
                     params: EnergyParameters = EnergyParameters(),
                     ) -> EnergyBreakdown:
     """Energy breakdown for one finished simulation run."""

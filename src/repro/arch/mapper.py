@@ -29,7 +29,7 @@ from typing import Optional
 
 from repro.arch.cgra import Fabric, FabricCapacityError
 from repro.arch.config import FabricConfig
-from repro.arch.dfg import Dfg, FuClass, Node
+from repro.arch.dfg import Dfg, FuClass
 from repro.util.rng import DeterministicRng
 
 Coord = tuple[int, int]

@@ -5,7 +5,13 @@
   barriers, no task hardware.
 - :class:`SoftwareRuntime` — a software task runtime on the same datapath
   (the motivation comparison): dynamic work stealing with software
-  dispatch costs, and none of the recovered structure.
+  dispatch costs, and none of the recovered structure. (Implemented in
+  :mod:`repro.core.software` — it is a configuration of the Delta engine —
+  and re-exported here for compatibility.)
+
+Both baselines run on the shared :mod:`repro.machine` datapath; nothing
+in this package constructs hardware components or reaches into
+:mod:`repro.core.delta` internals.
 """
 
 from repro.baseline.static import StaticParallel

@@ -1,7 +1,8 @@
 """The static-parallel baseline: same datapath, no task hardware.
 
 This models how the same program runs on an *equivalent static-parallel
-design* — identical lanes, scratchpads, NoC and DRAM, but:
+design* — identical lanes, scratchpads, NoC and DRAM (the shared
+:class:`repro.machine.Machine` composition), but:
 
 - work is partitioned **statically** (block or cyclic split of each phase's
   task list, oblivious to per-task work);
@@ -22,10 +23,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.arch.config import MachineConfig
-from repro.arch.dram import Dram
 from repro.arch.lane import Lane
-from repro.arch.mapper import Mapper
-from repro.arch.noc import Noc
 from repro.core.program import (
     ExpandedProgram,
     Program,
@@ -33,10 +31,9 @@ from repro.core.program import (
     partition_block,
     partition_cyclic,
 )
-from repro.core.delta import ExecutionStalled
-from repro.core.result import RunResult
 from repro.core.task import Task
-from repro.sim import Counters, Environment, Store
+from repro.machine import Machine, RunResult, RunSession
+from repro.sim import Store
 from repro.sim.trace import NullTracer, Tracer
 
 
@@ -55,56 +52,39 @@ class StaticParallel:
             trace: bool = False) -> RunResult:
         """Expand the program, statically schedule it, and simulate."""
         expanded = expand_program(program)
-        runner = _StaticRun(self.config, expanded, self.partition,
-                            Tracer() if trace else NullTracer())
-        return runner.run(max_cycles)
+        machine = Machine.build(self.config,
+                                tracer=Tracer() if trace else NullTracer(),
+                                multicast_enabled=False)
+        return _StaticRun(machine, expanded, self.partition).run(max_cycles)
 
 
 class _StaticRun:
-    """One simulation run of the static schedule."""
+    """The static phase schedule over one fresh machine."""
 
-    def __init__(self, config: MachineConfig, expanded: ExpandedProgram,
-                 partition: str, tracer: Optional[Tracer] = None) -> None:
-        self.config = config
+    def __init__(self, machine: Machine, expanded: ExpandedProgram,
+                 partition: str) -> None:
+        self.machine = machine
+        self.config = machine.config
         self.expanded = expanded
         self.partition = partition
-        self.tracer = tracer or NullTracer()
-        self.env = Environment()
-        self.counters = Counters()
-        self.noc = Noc(self.env, self.counters, config.lanes,
-                       config.noc.link_bytes_per_cycle,
-                       config.noc.hop_latency, config.noc.header_bytes,
-                       multicast_enabled=False)
-        self.dram = Dram(self.env, self.counters,
-                         config.dram.bytes_per_cycle, config.dram.latency,
-                         config.dram.random_penalty)
-        mapper = Mapper(config.lane.fabric, seed=config.seed)
-        self.lanes = [
-            Lane(self.env, self.counters, i, config.lane, self.noc,
-                 self.dram, mapper, element_bytes=config.element_bytes)
-            for i in range(config.lanes)
-        ]
-        self._tasks_executed = 0
+        self.tracer = machine.tracer
+        self.env = machine.env
+        self.metrics = machine.metrics
+        self.lanes = machine.lanes
+        self.session = RunSession(machine, "static",
+                                  expanded.program.name,
+                                  expanded.program.state)
 
     def run(self, max_cycles: Optional[float]) -> RunResult:
         """Run the phase schedule to completion and collect results."""
         done = self.env.process(self._main(), name="static-main")
-        self.env.run(until=max_cycles)
-        if not done.triggered:
-            raise ExecutionStalled(
-                f"static run of {self.expanded.program.name!r} did not "
-                f"finish by cycle {self.env.now:,.0f}")
-        return RunResult(
-            machine="static",
-            program_name=self.expanded.program.name,
-            config=self.config,
-            cycles=self.env.now,
-            tasks_executed=self._tasks_executed,
-            counters=self.counters,
-            lane_busy=[lane.busy_cycles for lane in self.lanes],
-            state=self.expanded.program.state,
-            trace=self.tracer if self.tracer.enabled else None,
-        )
+        self.session.run_until_complete(
+            max_cycles,
+            finished=lambda: done.triggered,
+            stall_detail=lambda: (
+                f"with {len(self.expanded.tasks) - self.session.tasks_executed}"
+                f" of {len(self.expanded.tasks)} tasks unfinished"))
+        return self.session.result(cycles=self.env.now)
 
     def _main(self) -> Generator:
         split = (partition_block if self.partition == "block"
@@ -122,7 +102,7 @@ class _StaticRun:
             # The barrier: every lane finishes before the next phase.
             phase_start = self.env.now
             yield self.env.all_of(workers)
-            self.counters.add("static.barriers")
+            self.metrics.static.add("barriers")
             self.tracer.span("phase", f"phase{phase_index}", "machine",
                              phase_start, self.env.now,
                              tasks=len(phase))
@@ -135,7 +115,7 @@ class _StaticRun:
     def _execute(self, lane: Lane, task: Task) -> Generator:
         t_begin = self.env.now
         mapping = yield from lane.configure(task.type.dfg)
-        self.counters.add(f"tasks.{task.type.name}")
+        self.metrics.tasks.add(task.type.name)
 
         procs = []
         in_streams: list[tuple[Store, int]] = []
@@ -144,8 +124,8 @@ class _StaticRun:
             store = Store(self.env, capacity=8, name=f"{task.name}.in")
             if spec.shared:
                 # No multicast: every task pays its own fetch.
-                self.counters.add("static.duplicate_shared_bytes",
-                                  spec.nbytes)
+                self.metrics.static.add("duplicate_shared_bytes",
+                                        spec.nbytes)
             procs.append(lane.streams.stream_in(
                 spec.nbytes, spec.locality, dest_store=store,
                 close_dest=True))
@@ -178,7 +158,7 @@ class _StaticRun:
         yield self.env.all_of(procs + drains)
         self.tracer.span("task", task.name, lane.name, t_begin,
                          self.env.now, type=task.type.name)
-        self._tasks_executed += 1
+        self.session.task_completed()
         task.completed = True
 
     def _drain(self, store: Store) -> Generator:

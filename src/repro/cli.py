@@ -153,8 +153,8 @@ def _cmd_run(args) -> int:
                                             trace=bool(args.trace))
     workload.check(result.state)
     print(result.summary())
-    print(f"functional check: OK (verified against the reference "
-          f"implementation)")
+    print("functional check: OK (verified against the reference "
+          "implementation)")
     if args.counters:
         print(result.counters.render())
     if args.trace:

@@ -13,9 +13,11 @@ This package is the paper's primary contribution:
   work-aware load balancing (plus the comparison policies).
 - :mod:`repro.core.multicast` — recovery of inter-task read sharing:
   coalesces SharedRead regions across tasks and multicasts one fetch.
-- :mod:`repro.core.delta` — the Delta accelerator: lanes + dispatcher +
-  multicast manager + pipelined inter-task streams.
-- :mod:`repro.core.result` — run results consumed by the eval harness.
+- :mod:`repro.core.delta` — the Delta execution model (dispatcher +
+  multicast manager + pipelined inter-task streams) as a policy over the
+  shared :mod:`repro.machine` datapath.
+- :mod:`repro.core.software` — the software-task-runtime model: the same
+  execution engine under software cost constants with recovery disabled.
 """
 
 from repro.core.annotations import ReadSpec, WriteSpec, WorkHint
@@ -23,6 +25,7 @@ from repro.core.task import Task, TaskType, TaskContext
 from repro.core.program import Program
 from repro.core.result import RunResult
 from repro.core.delta import Delta
+from repro.core.software import SoftwareRuntime
 
 __all__ = [
     "ReadSpec",
@@ -34,4 +37,5 @@ __all__ = [
     "Program",
     "RunResult",
     "Delta",
+    "SoftwareRuntime",
 ]

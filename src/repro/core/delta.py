@@ -4,6 +4,12 @@ Delta is a *hierarchical dataflow* machine: coarse-grained dataflow between
 tasks (streams, recovered from dependence annotations) and fine-grained
 dataflow inside a task (the CGRA lane executing the task's DFG).
 
+The datapath itself — lanes, NoC, DRAM, scratchpads — is composed by
+:class:`repro.machine.Machine`, shared verbatim with the static-parallel
+baseline. This module contributes only the TaskStream execution model on
+top of it: the hardware dispatcher, the multicast manager, and the
+lane-to-lane stream channels.
+
 The run loop:
 
 1. Initial tasks are submitted to the :class:`~repro.core.dispatcher.
@@ -27,23 +33,18 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.arch.config import MachineConfig
-from repro.arch.dram import Dram
 from repro.arch.lane import Lane
-from repro.arch.mapper import Mapper
-from repro.arch.noc import MEM_NODE, Noc
+from repro.arch.noc import MEM_NODE
 from repro.core.dispatcher import Dispatcher
 from repro.core.multicast import MulticastManager
 from repro.core.program import Program
-from repro.core.result import RunResult
 from repro.core.task import Task, run_kernel
-from repro.sim import Counters, Environment, Store
+from repro.machine import ExecutionStalled, Machine, RunResult, RunSession
+from repro.sim import Store
 from repro.sim.trace import NullTracer, Tracer
 from repro.util.rng import DeterministicRng
 
-
-class ExecutionStalled(RuntimeError):
-    """The simulation ended with tasks still outstanding (modeling bug or
-    genuinely deadlocked program)."""
+__all__ = ["Delta", "ExecutionStalled"]
 
 
 @dataclass
@@ -71,50 +72,42 @@ class Delta:
         Tracer` timeline (task spans per lane, reconfigurations, shared
         fetches) exportable to Chrome tracing JSON.
         """
-        runner = _DeltaRun(self.config, program,
-                           Tracer() if trace else NullTracer())
-        return runner.run(max_cycles)
+        machine = Machine.build(self.config,
+                                tracer=Tracer() if trace else NullTracer())
+        return _DeltaRun(machine, program).run(max_cycles)
 
 
 class _DeltaRun:
-    """State for one simulation run (fresh environment per run)."""
+    """The TaskStream execution model over one fresh machine."""
 
-    def __init__(self, config: MachineConfig, program: Program,
-                 tracer: Optional[Tracer] = None) -> None:
-        self.config = config
+    def __init__(self, machine: Machine, program: Program) -> None:
+        self.machine = machine
+        self.config = machine.config
         self.program = program
-        self.tracer = tracer or NullTracer()
-        self.env = Environment()
-        self.counters = Counters()
-        self.rng = DeterministicRng("delta", program.name, config.seed)
-        self.features = config.features
+        self.tracer = machine.tracer
+        self.env = machine.env
+        self.metrics = machine.metrics
+        self.lanes = machine.lanes
+        self.noc = machine.noc
+        self.dram = machine.dram
+        self.rng = DeterministicRng("delta", program.name,
+                                    self.config.seed)
+        self.features = self.config.features
 
-        self.noc = Noc(self.env, self.counters, config.lanes,
-                       config.noc.link_bytes_per_cycle,
-                       config.noc.hop_latency, config.noc.header_bytes,
-                       multicast_enabled=config.noc.multicast)
-        self.dram = Dram(self.env, self.counters,
-                         config.dram.bytes_per_cycle, config.dram.latency,
-                         config.dram.random_penalty)
-        mapper = Mapper(config.lane.fabric, seed=config.seed)
-        self.lanes = [
-            Lane(self.env, self.counters, i, config.lane, self.noc,
-                 self.dram, mapper, element_bytes=config.element_bytes)
-            for i in range(config.lanes)
-        ]
         self.dispatcher = Dispatcher(
-            self.env, self.counters, config.dispatch, config.lanes,
+            self.env, self.metrics, self.config.dispatch, self.config.lanes,
             self.features, self.rng.fork("dispatch"))
         self.mcast = MulticastManager(
-            self.env, self.counters, self.noc, self.dram, self.lanes,
-            window_cycles=config.effective_mcast_window())
-        self.dispatcher.affinity_window = float(config.lane.config_cycles)
+            self.env, self.metrics, self.noc, self.dram, self.lanes,
+            window_cycles=self.config.effective_mcast_window())
+        self.dispatcher.affinity_window = float(
+            self.config.lane.config_cycles)
+        self.session = RunSession(machine, "delta", program.name,
+                                  program.state)
         self._channels: dict[tuple[int, int], _Channel] = {}
         #: task_id -> (prefetch process, lane_id, region name) for the
         #: prefetch extension (double buffering of private reads).
         self._prefetches: dict[int, tuple] = {}
-        self._tasks_executed = 0
-        self._last_completion = 0.0
 
         for lane in self.lanes:
             self.env.process(self._worker(lane), name=f"worker:{lane.name}")
@@ -125,24 +118,13 @@ class _DeltaRun:
         """Submit the initial tasks, run the event loop, collect results."""
         for task in self.program.initial_tasks:
             self.dispatcher.submit(task)
-        self.env.run(until=max_cycles)
-        if not self.dispatcher.drained.triggered:
-            raise ExecutionStalled(
-                f"program {self.program.name!r} stalled at cycle "
-                f"{self.env.now:,.0f} with {self.dispatcher.outstanding} "
-                f"tasks outstanding (queues: "
-                f"{[q.level for q in self.dispatcher.queues]})")
-        return RunResult(
-            machine="delta",
-            program_name=self.program.name,
-            config=self.config,
-            cycles=self._last_completion,
-            tasks_executed=self._tasks_executed,
-            counters=self.counters,
-            lane_busy=[lane.busy_cycles for lane in self.lanes],
-            state=self.program.state,
-            trace=self.tracer if self.tracer.enabled else None,
-        )
+        self.session.run_until_complete(
+            max_cycles,
+            finished=lambda: self.dispatcher.drained.triggered,
+            stall_detail=lambda: (
+                f"with {self.dispatcher.outstanding} tasks outstanding "
+                f"(queues: {[q.level for q in self.dispatcher.queues]})"))
+        return self.session.result()
 
     # -- lane worker -------------------------------------------------------------
 
@@ -195,7 +177,7 @@ class _DeltaRun:
         proc = self.env.process(self._prefetch_pump(lane, nbytes),
                                 name=f"prefetch:{head.name}")
         self._prefetches[head.task_id] = (proc, lane.lane_id, region)
-        self.counters.add("prefetch.issued")
+        self.metrics.prefetch.add("issued")
 
     def _prefetch_pump(self, lane: Lane, nbytes: float) -> Generator:
         """Low-priority prefetch: only issues a chunk when the DRAM channel
@@ -206,7 +188,7 @@ class _DeltaRun:
             yield self.dram.fetch(size, 1.0)
             yield self.noc.unicast(MEM_NODE, lane.name, size)
             yield lane.spad.access(size, is_write=True)
-        self.counters.add("prefetch.bytes", nbytes)
+        self.metrics.prefetch.add("bytes", nbytes)
 
     # -- task execution ------------------------------------------------------------
 
@@ -215,14 +197,14 @@ class _DeltaRun:
         if lane.config.task_overhead_cycles:
             # Software-runtime regime: dequeue + closure-call cost.
             yield self.env.timeout(lane.config.task_overhead_cycles)
-            self.counters.add("runtime.task_overhead_cycles",
-                              lane.config.task_overhead_cycles)
+            self.metrics.runtime.add("task_overhead_cycles",
+                                     lane.config.task_overhead_cycles)
         was_configured = lane.configured_for(task.type.dfg)
         mapping = yield from lane.configure(task.type.dfg)
         if not was_configured and self.env.now > t_begin:
             self.tracer.span("config", task.type.dfg.name, lane.name,
                              t_begin, self.env.now)
-        self.counters.add(f"tasks.{task.type.name}")
+        self.metrics.tasks.add(task.type.name)
 
         # Functional execution: the kernel does the real computation and
         # spawns children. It must run *before* the started event fires —
@@ -250,13 +232,13 @@ class _DeltaRun:
             pf_proc, pf_lane, prefetch_region = prefetch
             if pf_lane == lane.lane_id:
                 prefetched_here = True
-                self.counters.add("prefetch.used")
+                self.metrics.prefetch.add("used")
             else:
                 # Stolen to a different lane: the prefetch was wasted.
                 self.lanes[pf_lane].spad.release(prefetch_region)
                 prefetch_region = None
                 pf_proc = None
-                self.counters.add("prefetch.wasted")
+                self.metrics.prefetch.add("wasted")
 
         # 1. Annotated reads: shared regions via multicast (when enabled),
         #    everything else streamed privately from DRAM.
@@ -281,7 +263,7 @@ class _DeltaRun:
                                          store)))
             else:
                 if spec.shared:
-                    self.counters.add("mcast.disabled_duplicate_fetches")
+                    self.metrics.mcast.add("disabled_duplicate_fetches")
                 procs.append(lane.streams.stream_in(
                     spec.nbytes, spec.locality, dest_store=store,
                     close_dest=True))
@@ -322,7 +304,7 @@ class _DeltaRun:
             procs.append(self.env.process(
                 self._fan_out(out, channels, write_bytes),
                 name=f"fanout:{task.name}"))
-            self.counters.add("pipe.streams", len(channels))
+            self.metrics.pipe.add("streams", len(channels))
         elif write_bytes > 0:
             out = Store(self.env, capacity=8, name=f"{task.name}.out")
             out_stores.append(out)
@@ -330,7 +312,7 @@ class _DeltaRun:
             procs.append(lane.streams.stream_out(
                 write_bytes, locality, src_store=out))
             if task.stream_consumers:
-                self.counters.add("pipe.disabled_round_trips")
+                self.metrics.pipe.add("disabled_round_trips")
 
         # 4. Compute.
         compute = self.env.process(
@@ -351,8 +333,7 @@ class _DeltaRun:
                          trips=task.trips, work=task.work)
         if prefetch_region is not None and prefetched_here:
             lane.spad.release(prefetch_region)
-        self._tasks_executed += 1
-        self._last_completion = self.env.now
+        self.session.task_completed()
         self.dispatcher.task_completed(task)
 
     # -- stream plumbing ------------------------------------------------------------
@@ -420,7 +401,7 @@ class _DeltaRun:
             yield lane.spad.access(size, is_write=True)
             yield in_store.put(size)
             pulled += size
-        self.counters.add("pipe.bytes", pulled)
+        self.metrics.pipe.add("bytes", pulled)
         in_store.close()
 
     def _resident_after(self, pf_proc, lane: Lane, nbytes: int,

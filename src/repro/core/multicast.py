@@ -20,13 +20,13 @@ already on-lane), ``mcast.coalesced`` (requests folded into one fetch),
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.arch.dram import Dram
 from repro.arch.lane import Lane
 from repro.arch.noc import MEM_NODE, Noc
 from repro.arch.spad import CapacityError
-from repro.sim import Counters, Environment, Event
+from repro.sim import Counters, Environment
 
 
 class _Batch:

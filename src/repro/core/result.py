@@ -1,71 +1,12 @@
-"""Run results: everything the evaluation harness reads after a simulation.
+"""Compatibility re-export: :class:`RunResult` lives in the machine layer.
 
-Both the Delta runtime and the static baseline return a :class:`RunResult`,
-so every experiment compares like with like.
+The canonical result type moved to :mod:`repro.machine.result` when result
+assembly became part of the shared run lifecycle
+(:class:`~repro.machine.session.RunSession`). Import from
+:mod:`repro.machine` in new code; this module remains so existing
+``from repro.core.result import RunResult`` imports keep working.
 """
 
-from __future__ import annotations
+from repro.machine.result import RunResult
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
-
-from repro.arch.config import MachineConfig
-from repro.sim import Counters
-from repro.sim.trace import Tracer
-from repro.util.stats import coefficient_of_variation
-
-
-@dataclass
-class RunResult:
-    """Outcome of simulating one program on one machine."""
-
-    machine: str
-    program_name: str
-    config: MachineConfig
-    cycles: float
-    tasks_executed: int
-    counters: Counters
-    lane_busy: list[float]
-    state: Any
-    #: Timeline of the run when tracing was requested (see Delta.run /
-    #: StaticParallel.run ``trace=`` parameter), else None.
-    trace: Optional["Tracer"] = None
-
-    @property
-    def imbalance_cv(self) -> float:
-        """Coefficient of variation of per-lane busy cycles (figure F4)."""
-        if not self.lane_busy:
-            return 0.0
-        return coefficient_of_variation(self.lane_busy)
-
-    @property
-    def mean_lane_utilization(self) -> float:
-        """Mean busy fraction across lanes."""
-        if not self.lane_busy or self.cycles <= 0:
-            return 0.0
-        return sum(self.lane_busy) / (len(self.lane_busy) * self.cycles)
-
-    @property
-    def dram_bytes(self) -> float:
-        """Actual DRAM bytes moved (reads + writes)."""
-        return (self.counters.get("dram.read_bytes")
-                + self.counters.get("dram.write_bytes"))
-
-    @property
-    def noc_bytes(self) -> float:
-        """Total NoC link-bytes moved."""
-        return self.counters.get("noc.bytes")
-
-    def speedup_over(self, other: "RunResult") -> float:
-        """``other.cycles / self.cycles`` — this result's speedup."""
-        if self.cycles <= 0:
-            raise ValueError("cannot compute speedup of a zero-cycle run")
-        return other.cycles / self.cycles
-
-    def summary(self) -> str:
-        """One-line human-readable summary."""
-        return (f"{self.machine:>7} {self.program_name:<14} "
-                f"{self.cycles:>12,.0f} cyc  {self.tasks_executed:>6} tasks  "
-                f"CV={self.imbalance_cv:.3f}  "
-                f"DRAM={self.dram_bytes / 1024:.1f} KiB  "
-                f"NoC={self.noc_bytes / 1024:.1f} KiB")
+__all__ = ["RunResult"]

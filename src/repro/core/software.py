@@ -1,0 +1,75 @@
+"""The software-task-runtime model: dynamic scheduling, software costs.
+
+The paper's motivation is that task parallelism and accelerators "seem to
+be at odds": a conventional software task runtime (Cilk/TBB-style) *can*
+load-balance dynamically, but it pays hundreds of cycles of software
+overhead per task for enqueue, dequeue, and closure dispatch — ruinous at
+accelerator task granularity — and, crucially, it has erased the program
+structure TaskStream keeps, so there is no pipelining and no multicast.
+
+This models exactly that point in the design space on the *same*
+datapath: work-stealing dynamic scheduling (so load balance is decent),
+software dispatch and per-task costs, dependences through memory. It is a
+*configuration* of the Delta execution model — the same dispatcher and
+lane workers with software cost constants and every recovery feature off —
+which is why it lives next to :mod:`repro.core.delta` rather than in
+:mod:`repro.baseline` (whose simulators are independent execution models).
+Delta's advantage over it is the *structure recovery* plus cheap hardware
+task management, separating the "dynamic beats static" effect (which the
+software runtime also enjoys) from the paper's actual contribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.arch.config import FeatureFlags, MachineConfig
+from repro.core.delta import Delta
+from repro.core.program import Program
+from repro.machine import RunResult
+
+
+#: Default software costs (cycles), order-of-magnitude from published
+#: task-runtime overhead studies: tens-to-hundreds of cycles per task on
+#: the scheduling fast path, more when stealing.
+SOFTWARE_DISPATCH_CYCLES = 40      # central enqueue / deque push
+SOFTWARE_TASK_OVERHEAD = 120       # dequeue + closure call + bookkeeping
+SOFTWARE_STEAL_CYCLES = 300        # a failed local pop + remote steal
+
+
+def software_runtime_config(base: MachineConfig) -> MachineConfig:
+    """Derive the software-runtime machine from a Delta configuration.
+
+    Same lanes, scratchpads, NoC, DRAM. Differences: work-stealing
+    scheduling with software costs, no work hints (a closure's work is
+    opaque to a software scheduler), no pipelining, no multicast.
+    """
+    return dataclasses.replace(
+        base,
+        lane=dataclasses.replace(
+            base.lane, task_overhead_cycles=SOFTWARE_TASK_OVERHEAD),
+        dispatch=dataclasses.replace(
+            base.dispatch,
+            policy="steal",
+            dispatch_cycles=SOFTWARE_DISPATCH_CYCLES,
+            steal_cycles=SOFTWARE_STEAL_CYCLES),
+        features=FeatureFlags(work_aware_lb=False, pipelining=False,
+                              multicast=False),
+    )
+
+
+class SoftwareRuntime:
+    """Simulator facade for the software-task-runtime baseline."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = software_runtime_config(config)
+        self._delta = Delta(self.config)
+
+    def run(self, program: Program,
+            max_cycles: Optional[float] = None,
+            trace: bool = False) -> RunResult:
+        """Simulate ``program`` under the software runtime model."""
+        result = self._delta.run(program, max_cycles=max_cycles,
+                                 trace=trace)
+        return dataclasses.replace(result, machine="software")

@@ -19,7 +19,7 @@ producer→consumer streams).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.arch.dfg import Dfg

@@ -44,20 +44,39 @@ CACHE_FORMAT = 1
 _SCALAR_TYPES = (bool, int, float, str, bytes, type(None))
 
 
+def source_files(package_root: Optional[Path] = None) -> list[Path]:
+    """Every ``repro`` source file covered by the code-version digest.
+
+    Defaults to the installed ``repro`` package root; tests pass a synthetic
+    tree to prove specific subpackages (e.g. ``repro.machine``) participate
+    in cache invalidation.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[1]
+    return sorted(package_root.rglob("*.py"))
+
+
+def digest_tree(package_root: Optional[Path] = None) -> str:
+    """Digest of every source file under ``package_root`` (path + bytes)."""
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[1]
+    digest_parts = []
+    for source in source_files(package_root):
+        digest_parts.append(source.relative_to(package_root).as_posix())
+        digest_parts.append(source.read_bytes())
+    return stable_hash(*digest_parts)
+
+
 @functools.lru_cache(maxsize=1)
 def code_version() -> str:
     """Digest of every ``repro`` source file, stable within one checkout.
 
-    Any edit to the simulator, workloads, or harness changes this value and
-    thereby invalidates the whole cache — the conservative choice: a cache
-    must never survive a change that could alter results.
+    Any edit to the simulator — including the :mod:`repro.machine`
+    composition layer — the workloads, or the harness changes this value
+    and thereby invalidates the whole cache — the conservative choice: a
+    cache must never survive a change that could alter results.
     """
-    package_root = Path(__file__).resolve().parents[1]
-    digest_parts = []
-    for source in sorted(package_root.rglob("*.py")):
-        digest_parts.append(source.relative_to(package_root).as_posix())
-        digest_parts.append(source.read_bytes())
-    return stable_hash(*digest_parts)
+    return digest_tree()
 
 
 def workload_cache_key(workload: "Workload") -> str:

@@ -229,9 +229,9 @@ def f5_traffic(lanes: int = 8,
             f"{c.delta.dram_bytes / 1024:,.1f}",
             f"{c.static.dram_bytes / 1024:,.1f}",
             f"{c.traffic_ratio:.2f}x",
-            f"{c.delta.counters.get('mcast.fetches'):,.0f}",
-            f"{c.delta.counters.get('mcast.hits'):,.0f}",
-            f"{c.delta.counters.get('pipe.bytes') / 1024:,.1f}",
+            f"{c.delta.metrics.mcast.fetches:,.0f}",
+            f"{c.delta.metrics.mcast.hits:,.0f}",
+            f"{c.delta.metrics.pipe.bytes / 1024:,.1f}",
         ])
     text = format_table(
         ["workload", "delta KiB", "static KiB", "reduction",
@@ -391,8 +391,8 @@ def f9_extensions(lanes: int = 8) -> ExperimentResult:
     thrash.check(aff.state)
 
     def misses(result):
-        return sum(result.counters.get(f"lane{i}.config_misses")
-                   for i in range(lanes))
+        return sum(lane.config_misses
+                   for lane in result.metrics.lanes(lanes))
 
     rows.append(["config-affinity", "config-thrash",
                  f"{base.cycles:,.0f}", f"{aff.cycles:,.0f}",
@@ -411,7 +411,7 @@ def f9_extensions(lanes: int = 8) -> ExperimentResult:
     rows.append(["prefetch", "uniform (latency-bound)",
                  f"{pf_base.cycles:,.0f}", f"{pf.cycles:,.0f}",
                  f"{pf_base.cycles / pf.cycles:.2f}x",
-                 f"prefetches used {pf.counters.get('prefetch.used'):.0f}"])
+                 f"prefetches used {pf.metrics.prefetch.used:.0f}"])
 
     text = format_table(
         ["extension", "regime workload", "off cycles", "on cycles",
@@ -420,7 +420,7 @@ def f9_extensions(lanes: int = 8) -> ExperimentResult:
     data = {"affinity_gain": base.cycles / aff.cycles,
             "prefetch_gain": pf_base.cycles / pf.cycles,
             "misses_before": misses(base), "misses_after": misses(aff),
-            "prefetch_used": pf.counters.get("prefetch.used")}
+            "prefetch_used": pf.metrics.prefetch.used}
     return ExperimentResult("F9", "extensions", data, text)
 
 
@@ -438,7 +438,7 @@ def f10_software_runtime(lanes: int = 8,
     skew-dominated workloads yet still loses to Delta everywhere, and its
     deficit widens as tasks get finer.
     """
-    from repro.baseline.software import SoftwareRuntime
+    from repro.core.software import SoftwareRuntime
     from repro.workloads.spmv import SpmvWorkload
 
     workloads = list(workloads) if workloads is not None else all_workloads()
@@ -519,7 +519,7 @@ def a1_design_sensitivity(lanes: int = 8) -> ExperimentResult:
         result = Delta(cfg).run(w.build_program())
         w.check(result.state)
         window_cycles.append(result.cycles)
-        window_fetches.append(result.counters.get("mcast.fetches"))
+        window_fetches.append(result.metrics.mcast.fetches)
     sections.append(series_table(
         "window", windows,
         {"cycles": window_cycles, "fetches": window_fetches},

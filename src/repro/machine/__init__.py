@@ -1,0 +1,58 @@
+"""The machine layer: one datapath composition + run lifecycle for every
+execution model.
+
+This package sits between the hardware component models (:mod:`repro.arch`,
+:mod:`repro.sim`) and the execution models built on them (:mod:`repro.core`
+Delta, :mod:`repro.baseline`):
+
+- :class:`Machine` — composes the simulated hardware (environment, typed
+  metrics bus, NoC, DRAM, mapper, lanes) from one
+  :class:`~repro.arch.config.MachineConfig`.
+- :class:`RunSession` — the shared run lifecycle: max-cycle guard,
+  stall detection (:class:`ExecutionStalled`), progress accounting, and
+  canonical :class:`RunResult` assembly.
+- :class:`MetricsBus` — structured, namespaced run statistics (the typed
+  successor to the raw counter bag).
+
+Both simulators being thin policies over this one layer is what makes the
+paper's Delta-vs-static comparison apples-to-apples by construction.
+"""
+
+from repro.machine.machine import Machine
+from repro.machine.metrics import (
+    CounterGroup,
+    DispatchMetrics,
+    DramMetrics,
+    LaneMetrics,
+    MetricsBus,
+    MulticastMetrics,
+    NocMetrics,
+    PipelineMetrics,
+    PrefetchMetrics,
+    RuntimeMetrics,
+    StaticScheduleMetrics,
+    TaskMetrics,
+    metric,
+)
+from repro.machine.result import RunResult
+from repro.machine.session import ExecutionStalled, RunSession
+
+__all__ = [
+    "Machine",
+    "RunSession",
+    "RunResult",
+    "ExecutionStalled",
+    "MetricsBus",
+    "CounterGroup",
+    "metric",
+    "DramMetrics",
+    "NocMetrics",
+    "MulticastMetrics",
+    "PipelineMetrics",
+    "DispatchMetrics",
+    "PrefetchMetrics",
+    "RuntimeMetrics",
+    "StaticScheduleMetrics",
+    "TaskMetrics",
+    "LaneMetrics",
+]

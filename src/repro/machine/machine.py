@@ -1,0 +1,80 @@
+"""Composition of the simulated hardware shared by every execution model.
+
+The paper's apples-to-apples claim rests on Delta and the static-parallel
+baseline sharing the *exact same datapath*. :class:`Machine` is that
+datapath, built once, in one place, from a
+:class:`~repro.arch.config.MachineConfig`: the event environment, the
+typed metrics bus, the mesh NoC, DRAM, the place-and-route mapper, and
+the lanes. Execution models (the Delta dispatcher + multicast manager,
+the static phase schedule, the software runtime) layer their policy on
+top without touching machine internals.
+
+Construction order is part of the determinism contract: components
+register processes and stores with the environment as they are built, and
+the event kernel breaks ties FIFO, so the order here must stay stable for
+golden fingerprints to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.config import MachineConfig
+from repro.arch.dram import Dram
+from repro.arch.lane import Lane
+from repro.arch.mapper import Mapper
+from repro.arch.noc import Noc
+from repro.machine.metrics import MetricsBus
+from repro.sim import Environment
+from repro.sim.trace import NullTracer, Tracer
+
+
+@dataclass
+class Machine:
+    """One instantiated datapath: environment, metrics, NoC, DRAM, lanes."""
+
+    config: MachineConfig
+    env: Environment
+    metrics: MetricsBus
+    noc: Noc
+    dram: Dram
+    mapper: Mapper
+    lanes: list[Lane]
+    tracer: Tracer
+
+    @classmethod
+    def build(cls, config: MachineConfig, *,
+              tracer: Optional[Tracer] = None,
+              multicast_enabled: Optional[bool] = None) -> "Machine":
+        """Compose a fresh machine from ``config``.
+
+        ``multicast_enabled`` overrides ``config.noc.multicast`` — the
+        static baseline models a NoC without multicast trees even when the
+        shared config enables them (the datapath is identical; the *use*
+        of the tree hardware is an execution-model property).
+        """
+        tracer = tracer or NullTracer()
+        env = Environment()
+        metrics = MetricsBus()
+        if multicast_enabled is None:
+            multicast_enabled = config.noc.multicast
+        noc = Noc(env, metrics, config.lanes,
+                  config.noc.link_bytes_per_cycle,
+                  config.noc.hop_latency, config.noc.header_bytes,
+                  multicast_enabled=multicast_enabled)
+        dram = Dram(env, metrics, config.dram.bytes_per_cycle,
+                    config.dram.latency, config.dram.random_penalty)
+        mapper = Mapper(config.lane.fabric, seed=config.seed)
+        lanes = [
+            Lane(env, metrics, i, config.lane, noc, dram, mapper,
+                 element_bytes=config.element_bytes)
+            for i in range(config.lanes)
+        ]
+        return cls(config=config, env=env, metrics=metrics, noc=noc,
+                   dram=dram, mapper=mapper, lanes=lanes, tracer=tracer)
+
+    @property
+    def lane_busy(self) -> list[float]:
+        """Per-lane busy cycles, in lane order (the imbalance vector)."""
+        return [lane.busy_cycles for lane in self.lanes]

@@ -1,0 +1,273 @@
+"""The typed metrics bus: structured, namespaced run statistics.
+
+:class:`MetricsBus` is the structured successor to the ad-hoc
+:class:`~repro.sim.stats.Counters` bag. The underlying store is unchanged
+(dotted counter names, so every existing fingerprint and golden file is
+preserved bit-for-bit), but producers and consumers now go through
+*counter groups* — one namespace per subsystem (``dram``, ``noc``,
+``mcast``, ``pipe``, ``dispatch``, ...) with declared, documented metrics —
+instead of scattering raw string keys across the codebase.
+
+A group is a view: it holds no state of its own, reads and writes land in
+the shared store, and :meth:`MetricsBus.adopt` can wrap any plain
+``Counters`` (e.g. one carried by an unpickled :class:`RunResult`) without
+copying.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from repro.sim.stats import Counters
+
+
+class metric:
+    """Declared read accessor for one counter inside a group.
+
+    Reading an undeclared or never-incremented counter yields 0.0, matching
+    ``Counters.get`` semantics.
+    """
+
+    def __init__(self, name: str, doc: str = "") -> None:
+        self.name = name
+        self.__doc__ = doc or f"Value of the {name!r} counter (0 if unset)."
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self._attr = attr
+
+    def __get__(self, group: "CounterGroup", objtype: type = None) -> float:
+        if group is None:
+            return self
+        return group.get(self.name)
+
+
+class CounterGroup:
+    """A namespaced view over the shared counter store.
+
+    Writes prepend the group prefix, so ``bus.pipe.add("bytes", n)`` lands
+    on the same ``pipe.bytes`` counter the evaluation reports and golden
+    fingerprints have always used.
+    """
+
+    #: Dotted-name namespace this group owns (without the trailing dot).
+    prefix: ClassVar[str] = ""
+
+    def __init__(self, store: Counters, prefix: str = None) -> None:
+        self._store = store
+        if prefix is not None:
+            self.prefix = prefix
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``<prefix>.<name>`` by ``amount``."""
+        self._store.add(self._key(name), amount)
+
+    def set_max(self, name: str, value: float) -> None:
+        """Keep the maximum observed value under ``<prefix>.<name>``."""
+        self._store.set_max(self._key(name), value)
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Read ``<prefix>.<name>`` (0 by default)."""
+        return self._store.get(self._key(name), default)
+
+    def total(self) -> float:
+        """Sum of every counter in this namespace."""
+        return self._store.sum_prefix(f"{self.prefix}.")
+
+    def as_dict(self) -> dict[str, float]:
+        """All counters in this namespace, keyed by the local name."""
+        return self._store.by_prefix(f"{self.prefix}.")
+
+    def declared(self) -> list[str]:
+        """Names of the metrics this group declares (for introspection)."""
+        return sorted(attr.name for attr in vars(type(self)).values()
+                      if isinstance(attr, metric))
+
+    def __contains__(self, name: str) -> bool:
+        return self._key(name) in self._store
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.prefix!r}: {self.as_dict()}>"
+
+
+class DramMetrics(CounterGroup):
+    """Main-memory traffic (written by :class:`repro.arch.dram.Dram`)."""
+
+    prefix = "dram"
+    read_bytes = metric("read_bytes", "Bytes read from DRAM.")
+    write_bytes = metric("write_bytes", "Bytes written back to DRAM.")
+    read_effective_bytes = metric(
+        "read_effective_bytes",
+        "Read bytes scaled by the row-locality penalty.")
+    write_effective_bytes = metric(
+        "write_effective_bytes",
+        "Write bytes scaled by the row-locality penalty.")
+
+    @property
+    def total_bytes(self) -> float:
+        """Actual DRAM bytes moved in either direction."""
+        return self.read_bytes + self.write_bytes
+
+
+class NocMetrics(CounterGroup):
+    """Interconnect traffic (written by :class:`repro.arch.noc.Noc`)."""
+
+    prefix = "noc"
+    bytes = metric("bytes", "Total link-bytes moved (hops x payload).")
+    messages = metric("messages", "Unicast messages sent.")
+    multicasts = metric("multicasts", "Multicast tree sends.")
+    forwarded_stream_bytes = metric(
+        "forwarded_stream_bytes", "Lane-to-lane forwarded stream bytes.")
+
+
+class MulticastMetrics(CounterGroup):
+    """Shared-read recovery (written by the multicast manager)."""
+
+    prefix = "mcast"
+    fetches = metric("fetches", "Coalesced DRAM fetches of shared regions.")
+    hits = metric("hits", "Requests served from scratchpad residency.")
+    coalesced = metric("coalesced", "Requests folded into an open batch.")
+    too_large = metric("too_large", "Regions too big to become resident.")
+    disabled_duplicate_fetches = metric(
+        "disabled_duplicate_fetches",
+        "Shared reads that paid a private fetch (multicast ablated).")
+
+
+class PipelineMetrics(CounterGroup):
+    """Recovered producer->consumer streams (written by the Delta runtime)."""
+
+    prefix = "pipe"
+    bytes = metric("bytes", "Bytes forwarded lane-to-lane over channels.")
+    streams = metric("streams", "Producer->consumer channels established.")
+    disabled_round_trips = metric(
+        "disabled_round_trips",
+        "Streams that degraded to a DRAM round trip (pipelining ablated).")
+
+
+class DispatchMetrics(CounterGroup):
+    """Hardware dispatcher activity (written by the dispatcher)."""
+
+    prefix = "dispatch"
+    submitted = metric("submitted", "Tasks submitted for readiness tracking.")
+    dispatched = metric("dispatched", "Tasks placed on a lane queue.")
+    completed = metric("completed", "Tasks retired.")
+    steals = metric("steals", "Successful steals (steal policy only).")
+    cycles = metric("cycles", "Cycles the dispatch port was busy.")
+    affinity_matches = metric(
+        "affinity_matches", "Placements won by the config-affinity tie-break.")
+
+
+class PrefetchMetrics(CounterGroup):
+    """The prefetch extension (double buffering of private reads)."""
+
+    prefix = "prefetch"
+    issued = metric("issued", "Prefetches started for a queued task.")
+    used = metric("used", "Prefetches consumed on the prefetching lane.")
+    wasted = metric("wasted", "Prefetches orphaned by work stealing.")
+    bytes = metric("bytes", "Bytes moved by the low-priority prefetch pump.")
+
+
+class RuntimeMetrics(CounterGroup):
+    """Software-runtime overheads (software task-runtime baseline)."""
+
+    prefix = "runtime"
+    task_overhead_cycles = metric(
+        "task_overhead_cycles", "Cycles of software dequeue/closure cost.")
+
+
+class StaticScheduleMetrics(CounterGroup):
+    """Static-parallel baseline schedule structure."""
+
+    prefix = "static"
+    barriers = metric("barriers", "Inter-phase barriers executed.")
+    duplicate_shared_bytes = metric(
+        "duplicate_shared_bytes",
+        "Shared-region bytes re-fetched per task (no multicast).")
+
+
+class TaskMetrics(CounterGroup):
+    """Per-task-type execution counts (``tasks.<type name>``)."""
+
+    prefix = "tasks"
+
+    def executed(self, type_name: str) -> float:
+        """How many tasks of ``type_name`` executed."""
+        return self.get(type_name)
+
+
+class LaneMetrics(CounterGroup):
+    """One lane's counters (``lane<N>.*``), including its scratchpad."""
+
+    busy_cycles = metric("busy_cycles", "Cycles the lane was executing.")
+    config_hits = metric("config_hits", "Configuration-cache hits.")
+    config_misses = metric("config_misses", "Reconfigurations paid.")
+    config_cycles = metric("config_cycles", "Cycles spent reconfiguring.")
+    trips = metric("trips", "Pipeline trips executed.")
+    stream_in_bytes = metric("stream_in_bytes", "Bytes streamed in.")
+    stream_out_bytes = metric("stream_out_bytes", "Bytes streamed out.")
+    resident_read_bytes = metric(
+        "resident_read_bytes", "Bytes read from resident scratchpad data.")
+    forward_bytes = metric("forward_bytes", "Bytes forwarded to a peer lane.")
+
+    def __init__(self, store: Counters, lane_id: int) -> None:
+        super().__init__(store, prefix=f"lane{lane_id}")
+        self.lane_id = lane_id
+
+
+class MetricsBus(Counters):
+    """A :class:`Counters` store with typed, namespaced group views.
+
+    The bus *is* the counter bag every simulated component writes into —
+    components keep their ``counters.add("dram.read_bytes", n)`` interface —
+    while results, reports, and figures read through the groups:
+    ``result.metrics.mcast.fetches`` instead of
+    ``result.counters.get("mcast.fetches")``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._attach_groups()
+
+    def _attach_groups(self) -> None:
+        self.dram = DramMetrics(self)
+        self.noc = NocMetrics(self)
+        self.mcast = MulticastMetrics(self)
+        self.pipe = PipelineMetrics(self)
+        self.dispatch = DispatchMetrics(self)
+        self.prefetch = PrefetchMetrics(self)
+        self.runtime = RuntimeMetrics(self)
+        self.static = StaticScheduleMetrics(self)
+        self.tasks = TaskMetrics(self)
+
+    @classmethod
+    def adopt(cls, counters: Counters) -> "MetricsBus":
+        """Wrap an existing counter bag in a bus without copying.
+
+        The returned bus shares the underlying store, so reads reflect the
+        original and writes land in it. Adopting a bus returns it as-is.
+        """
+        if isinstance(counters, cls):
+            return counters
+        bus = cls.__new__(cls)
+        bus._values = counters._values
+        bus._attach_groups()
+        return bus
+
+    def lane(self, lane_id: int) -> LaneMetrics:
+        """The counter group of one lane (``lane<N>.*``)."""
+        return LaneMetrics(self, lane_id)
+
+    def lanes(self, count: int) -> Iterator[LaneMetrics]:
+        """Lane groups 0..count-1, in lane order."""
+        for lane_id in range(count):
+            yield self.lane(lane_id)
+
+    def group(self, prefix: str) -> CounterGroup:
+        """An untyped group view over an arbitrary namespace."""
+        return CounterGroup(self, prefix)

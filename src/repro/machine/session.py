@@ -1,0 +1,91 @@
+"""The shared run lifecycle: drive a machine to completion, or diagnose why
+it did not get there.
+
+Every execution model runs the same way: submit work, run the event loop
+under an optional max-cycle guard, check that the program actually drained
+(raising :class:`ExecutionStalled` with diagnostics otherwise), and
+assemble the canonical :class:`~repro.machine.result.RunResult` from the
+machine's metrics bus. :class:`RunSession` owns that lifecycle so Delta
+and the static baseline cannot drift apart in how they account progress
+or report results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.machine.machine import Machine
+from repro.machine.result import RunResult
+
+
+class ExecutionStalled(RuntimeError):
+    """The simulation ended with tasks still outstanding (modeling bug or
+    genuinely deadlocked program)."""
+
+
+class RunSession:
+    """Progress accounting + stall detection + result assembly for one run.
+
+    The execution model calls :meth:`task_completed` as tasks retire,
+    :meth:`run_until_complete` to drive the event loop, and
+    :meth:`result` to collect the canonical statistics.
+    """
+
+    def __init__(self, machine: Machine, machine_name: str,
+                 program_name: str, state: object) -> None:
+        self.machine = machine
+        self.machine_name = machine_name
+        self.program_name = program_name
+        self.state = state
+        self.tasks_executed = 0
+        self.last_completion = 0.0
+
+    # -- progress accounting ----------------------------------------------
+
+    def task_completed(self) -> None:
+        """Record one retired task at the current simulated time."""
+        self.tasks_executed += 1
+        self.last_completion = self.machine.env.now
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run_until_complete(self, max_cycles: Optional[float],
+                           finished: Callable[[], bool],
+                           stall_detail: Optional[Callable[[], str]] = None,
+                           ) -> None:
+        """Run the event loop; raise :class:`ExecutionStalled` if the
+        completion condition does not hold when it returns.
+
+        ``finished`` is the execution model's completion predicate (the
+        dispatcher's drained event, the phase schedule's final barrier);
+        ``stall_detail`` supplies model-specific diagnostics for the error.
+        """
+        env = self.machine.env
+        env.run(until=max_cycles)
+        if not finished():
+            detail = f" {stall_detail()}" if stall_detail is not None else ""
+            raise ExecutionStalled(
+                f"{self.machine_name} run of {self.program_name!r} did not "
+                f"finish: stalled at cycle {env.now:,.0f}{detail}")
+
+    # -- result assembly ---------------------------------------------------
+
+    def result(self, cycles: Optional[float] = None) -> RunResult:
+        """Assemble the canonical result from the machine's metrics bus.
+
+        ``cycles`` defaults to the completion time of the last retired
+        task; barrier-structured models pass the final barrier time
+        (``env.now``) instead.
+        """
+        machine = self.machine
+        return RunResult(
+            machine=self.machine_name,
+            program_name=self.program_name,
+            config=machine.config,
+            cycles=self.last_completion if cycles is None else cycles,
+            tasks_executed=self.tasks_executed,
+            counters=machine.metrics,
+            lane_busy=machine.lane_busy,
+            state=self.state,
+            trace=machine.tracer if machine.tracer.enabled else None,
+        )

@@ -63,6 +63,14 @@ class Counters:
         """Copy of the raw counter mapping."""
         return dict(self._values)
 
+    def snapshot(self) -> tuple[tuple[str, float], ...]:
+        """Canonical sorted ``(name, value)`` tuple of every counter.
+
+        This is the fingerprint form: two runs are statistically identical
+        exactly when their snapshots (and headline stats) compare equal.
+        """
+        return tuple(sorted(self._values.items()))
+
     def render(self, prefix: str = "") -> str:
         """Readable multi-line dump, optionally filtered by prefix."""
         rows = [(k, v) for k, v in self.items() if k.startswith(prefix)]

@@ -53,7 +53,7 @@ def result_stats(result: "RunResult") -> tuple:
         float(result.cycles),
         int(result.tasks_executed),
         tuple(float(b) for b in result.lane_busy),
-        tuple(sorted(result.counters.as_dict().items())),
+        result.counters.snapshot(),
     )
 
 

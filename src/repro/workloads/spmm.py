@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arch.dfg import cholesky_update_dfg, dot_product_dfg
+from repro.arch.dfg import dot_product_dfg
 from repro.core.annotations import ReadSpec, WorkHint, WriteSpec
 from repro.core.program import Program
 from repro.core.task import TaskContext, TaskType

@@ -114,7 +114,6 @@ class TestStaticExecution:
 
     def test_barrier_serializes_phases(self):
         """Phase k+1 work cannot start before all phase-k lanes finish."""
-        seen = {"phase0_done_at": None}
         slow = TaskType(
             "slow", dot_product_dfg("slow"),
             kernel=lambda ctx, args: None,

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.arch.config import (
-    DispatchConfig,
     FeatureFlags,
-    MachineConfig,
     default_delta_config,
 )
 from repro.arch.dfg import axpy_dfg, dot_product_dfg
@@ -13,7 +11,6 @@ from repro.core.annotations import ReadSpec, WorkHint, WriteSpec
 from repro.core.delta import Delta, ExecutionStalled
 from repro.core.program import Program
 from repro.core.task import TaskType
-import dataclasses
 
 
 def leaf_type(name="leaf", trips=64):
@@ -85,7 +82,6 @@ class TestSpawning:
         assert sorted(result.state["ran"]) == [0, 1, 2]
 
     def test_after_dep_orders_kernels(self):
-        tt = leaf_type()
         order = []
 
         def first_kernel(ctx, args):

@@ -5,8 +5,6 @@ workers pop from the queues and report start/completion, so readiness,
 policies, and accounting can be checked in isolation.
 """
 
-import pytest
-
 from repro.arch.config import DispatchConfig, FeatureFlags
 from repro.arch.dfg import dot_product_dfg
 from repro.core.annotations import WorkHint
@@ -303,6 +301,52 @@ class TestStealing:
         p = env.process(thief())
         env.run()
         assert p.value == 0
+
+    def test_steal_noop_when_thief_is_richest(self):
+        # Round-robin placement puts 2 tasks on lane 0, 1 on lane 1: the
+        # richest queue is the thief's own, so the steal must be a no-op —
+        # no steal_cycles paid, no counter bump.
+        env = Environment()
+        d = make_dispatcher(env, lanes=2, policy="steal",
+                            dispatch_cycles=0, steal_cycles=5)
+        tt = make_type()
+        for i in range(3):
+            d.submit(tt.instantiate({"i": i}))
+        env.run()
+        assert d.queues[0].level == 2
+
+        def thief():
+            stolen = yield from d.try_steal(0)
+            return stolen
+
+        p = env.process(thief())
+        env.run()
+        assert p.value == 0
+        assert env.now == 0  # no steal latency charged
+        assert d.counters.get("dispatch.steals") == 0
+
+    def test_steal_tie_picks_lowest_indexed_victim(self):
+        # Lanes 0 and 1 tie as richest (2 queued each after round-robin
+        # placement of 6 tasks over 3 lanes); the victim choice must be
+        # deterministic — max() breaks the tie toward the lowest index.
+        env = Environment()
+        d = make_dispatcher(env, lanes=3, policy="steal",
+                            dispatch_cycles=0, steal_cycles=5)
+        tt = make_type()
+        for i in range(6):
+            d.submit(tt.instantiate({"i": i}))
+        env.run()
+        assert [q.level for q in d.queues] == [2, 2, 2]
+
+        def thief():
+            stolen = yield from d.try_steal(2)
+            return stolen
+
+        p = env.process(thief())
+        env.run()
+        assert p.value == 1  # half of the victim's 2 queued tasks
+        assert [q.level for q in d.queues] == [1, 2, 3]
+        assert d.counters.get("dispatch.steals") == 1
 
 
 class TestStreamConsumerPlacement:

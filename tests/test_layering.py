@@ -1,0 +1,86 @@
+"""The import-layering check (tools/check_layering.py) as a test.
+
+Running the checker inside the suite means a layering inversion fails
+`pytest` locally with the same message CI prints, and the checker's own
+mechanics (TYPE_CHECKING exemption, prefix matching) are covered too.
+"""
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CHECKER = REPO_ROOT / "tools" / "check_layering.py"
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_layering", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepositoryLayering:
+    def test_tree_has_no_violations(self):
+        checker = load_checker()
+        violations = checker.check_layering(SRC_ROOT)
+        assert violations == []
+
+    def test_cli_entry_point_passes(self):
+        proc = subprocess.run([sys.executable, str(CHECKER)],
+                              capture_output=True, text=True,
+                              cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "passed" in proc.stdout
+
+    def test_baseline_static_does_not_import_core_delta(self):
+        # The inversion this PR removed must not come back.
+        checker = load_checker()
+        source = (SRC_ROOT / "repro" / "baseline" / "static.py").read_text()
+        imports = checker.runtime_imports(ast.parse(source))
+        assert not any(name.startswith("repro.core.delta")
+                       for name in imports)
+
+    def test_arch_does_not_import_core_at_runtime(self):
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "arch").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith("repro.core")
+                         or name.startswith("repro.machine")]
+            assert not offending, f"{path.name}: {offending}"
+
+
+class TestCheckerMechanics:
+    def test_type_checking_imports_are_exempt(self):
+        checker = load_checker()
+        source = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.core.delta import Delta\n"
+            "import repro.sim\n"
+        )
+        imports = checker.runtime_imports(ast.parse(source))
+        assert "repro.sim" in imports
+        assert "repro.core.delta" not in imports
+
+    def test_runtime_violation_is_reported(self, tmp_path):
+        checker = load_checker()
+        pkg = tmp_path / "repro" / "baseline"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "bad.py").write_text("from repro.core.delta import Delta\n")
+        violations = checker.check_layering(tmp_path)
+        assert len(violations) == 1
+        assert "repro.baseline.bad imports repro.core.delta" in violations[0]
+
+    def test_prefix_matching_is_on_module_boundaries(self):
+        checker = load_checker()
+        # "repro.corelib" must NOT match the "repro.core" prefix.
+        assert not checker._matches("repro.corelib", "repro.core")
+        assert checker._matches("repro.core.delta", "repro.core")
+        assert checker._matches("repro.core", "repro.core")

@@ -1,0 +1,233 @@
+"""Unit tests for the machine layer (repro.machine).
+
+Machine.build composes the shared datapath; RunSession owns the run
+lifecycle (progress accounting, stall detection, canonical result
+assembly); MetricsBus layers typed namespaced groups over the plain
+Counters store without changing any dotted counter name.
+"""
+
+import pytest
+
+from repro.arch.config import default_baseline_config, default_delta_config
+from repro.machine import (
+    ExecutionStalled,
+    Machine,
+    MetricsBus,
+    RunResult,
+    RunSession,
+)
+from repro.machine.metrics import CounterGroup, LaneMetrics
+from repro.sim import Counters
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestMachineBuild:
+    def test_composes_one_lane_per_config_lane(self):
+        machine = Machine.build(default_delta_config(lanes=4))
+        assert len(machine.lanes) == 4
+        assert [lane.lane_id for lane in machine.lanes] == [0, 1, 2, 3]
+
+    def test_components_share_env_and_metrics(self):
+        machine = Machine.build(default_delta_config(lanes=2))
+        assert machine.noc.env is machine.env
+        assert machine.dram.env is machine.env
+        assert all(lane.env is machine.env for lane in machine.lanes)
+        assert isinstance(machine.metrics, MetricsBus)
+        assert machine.noc.counters is machine.metrics
+        assert machine.dram.counters is machine.metrics
+
+    def test_multicast_follows_config_by_default(self):
+        config = default_delta_config(lanes=2)
+        machine = Machine.build(config)
+        assert machine.noc.multicast_enabled == config.noc.multicast
+
+    def test_multicast_override_for_static_datapath(self):
+        config = default_delta_config(lanes=2)
+        assert config.noc.multicast  # the override must actually override
+        machine = Machine.build(config, multicast_enabled=False)
+        assert machine.noc.multicast_enabled is False
+
+    def test_default_tracer_is_disabled_null_tracer(self):
+        machine = Machine.build(default_baseline_config(lanes=2))
+        assert isinstance(machine.tracer, NullTracer)
+        assert not machine.tracer.enabled
+
+    def test_lane_busy_vector_in_lane_order(self):
+        machine = Machine.build(default_delta_config(lanes=3))
+        assert machine.lane_busy == [0.0, 0.0, 0.0]
+        machine.lanes[1].tracker.busy(42.0)
+        assert machine.lane_busy == [0.0, 42.0, 0.0]
+
+
+class TestRunSession:
+    def make_session(self, **build_kwargs):
+        machine = Machine.build(default_delta_config(lanes=2),
+                                **build_kwargs)
+        return RunSession(machine, machine_name="delta",
+                          program_name="prog", state={"k": "v"})
+
+    def test_task_completed_accounts_progress(self):
+        session = self.make_session()
+        env = session.machine.env
+
+        def ticker():
+            yield env.timeout(7)
+            session.task_completed()
+            yield env.timeout(5)
+            session.task_completed()
+
+        env.process(ticker())
+        env.run()
+        assert session.tasks_executed == 2
+        assert session.last_completion == 12.0
+
+    def test_run_until_complete_ok_when_finished(self):
+        session = self.make_session()
+        env = session.machine.env
+
+        def finish():
+            yield env.timeout(1)
+
+        env.process(finish())
+        session.run_until_complete(max_cycles=None, finished=lambda: True)
+        assert env.now == 1.0
+
+    def test_stall_raises_with_diagnostics(self):
+        session = self.make_session()
+        env = session.machine.env
+
+        def stuck():
+            yield env.timeout(100)
+
+        env.process(stuck())
+        with pytest.raises(ExecutionStalled, match="did not finish"):
+            session.run_until_complete(
+                max_cycles=None, finished=lambda: False,
+                stall_detail=lambda: "with 3 tasks outstanding")
+        with pytest.raises(ExecutionStalled, match="tasks outstanding"):
+            session.run_until_complete(
+                max_cycles=None, finished=lambda: False,
+                stall_detail=lambda: "with 3 tasks outstanding")
+
+    def test_result_defaults_to_last_completion_cycles(self):
+        session = self.make_session()
+        env = session.machine.env
+
+        def ticker():
+            yield env.timeout(9)
+            session.task_completed()
+            yield env.timeout(100)  # drain past the last completion
+
+        env.process(ticker())
+        env.run()
+        result = session.result()
+        assert isinstance(result, RunResult)
+        assert result.cycles == 9.0
+        assert result.tasks_executed == 1
+        assert result.machine == "delta"
+        assert result.program_name == "prog"
+        assert result.state == {"k": "v"}
+        assert result.counters is session.machine.metrics
+        assert result.trace is None  # NullTracer is not reported
+
+    def test_result_explicit_cycles_for_barrier_models(self):
+        session = self.make_session()
+        result = session.result(cycles=123.0)
+        assert result.cycles == 123.0
+
+    def test_result_carries_enabled_tracer(self):
+        session = self.make_session(tracer=Tracer(enabled=True))
+        result = session.result(cycles=1.0)
+        assert result.trace is session.machine.tracer
+
+
+class TestMetricsBus:
+    def test_group_writes_land_on_dotted_counters(self):
+        bus = MetricsBus()
+        bus.dram.add("read_bytes", 64)
+        bus.pipe.add("bytes", 16)
+        bus.dispatch.add("steals")
+        assert bus.get("dram.read_bytes") == 64
+        assert bus.get("pipe.bytes") == 16
+        assert bus.get("dispatch.steals") == 1
+        assert bus.dram.read_bytes == 64
+        assert bus.pipe.bytes == 16
+        assert bus.dispatch.steals == 1
+
+    def test_undeclared_reads_default_to_zero(self):
+        bus = MetricsBus()
+        assert bus.noc.bytes == 0.0
+        assert bus.mcast.get("nonexistent") == 0.0
+
+    def test_dram_total_and_group_total(self):
+        bus = MetricsBus()
+        bus.dram.add("read_bytes", 100)
+        bus.dram.add("write_bytes", 20)
+        assert bus.dram.total_bytes == 120
+        assert bus.dram.total() == 120
+        assert bus.dram.as_dict() == {"read_bytes": 100.0,
+                                      "write_bytes": 20.0}
+
+    def test_set_max_through_group(self):
+        bus = MetricsBus()
+        bus.dispatch.set_max("cycles", 5)
+        bus.dispatch.set_max("cycles", 3)
+        assert bus.dispatch.cycles == 5
+
+    def test_lane_groups(self):
+        bus = MetricsBus()
+        bus.add("lane3.trips", 11)
+        lane = bus.lane(3)
+        assert isinstance(lane, LaneMetrics)
+        assert lane.trips == 11
+        assert [g.lane_id for g in bus.lanes(2)] == [0, 1]
+
+    def test_untyped_group_view(self):
+        bus = MetricsBus()
+        group = bus.group("custom")
+        assert isinstance(group, CounterGroup)
+        group.add("thing", 2)
+        assert bus.get("custom.thing") == 2
+        assert "thing" in group
+
+    def test_declared_metric_names(self):
+        assert "steals" in MetricsBus().dispatch.declared()
+        assert "read_bytes" in MetricsBus().dram.declared()
+
+    def test_adopt_shares_store_without_copying(self):
+        plain = Counters()
+        plain.add("noc.bytes", 7)
+        bus = MetricsBus.adopt(plain)
+        assert bus.noc.bytes == 7
+        bus.noc.add("bytes", 3)
+        assert plain.get("noc.bytes") == 10  # same underlying store
+
+    def test_adopt_of_a_bus_is_identity(self):
+        bus = MetricsBus()
+        assert MetricsBus.adopt(bus) is bus
+
+    def test_snapshot_matches_sorted_items(self):
+        bus = MetricsBus()
+        bus.noc.add("bytes", 1)
+        bus.dram.add("read_bytes", 2)
+        assert bus.snapshot() == (("dram.read_bytes", 2.0),
+                                  ("noc.bytes", 1.0))
+
+
+class TestRunResultMetrics:
+    def make_result(self, counters):
+        return RunResult(machine="delta", program_name="p",
+                         config=default_delta_config(lanes=2),
+                         cycles=10.0, tasks_executed=1,
+                         counters=counters, lane_busy=[5.0, 5.0],
+                         state=None)
+
+    def test_metrics_view_over_plain_counters(self):
+        plain = Counters()
+        plain.add("dram.read_bytes", 30)
+        plain.add("dram.write_bytes", 12)
+        plain.add("noc.bytes", 8)
+        result = self.make_result(plain)
+        assert result.metrics.dram.total_bytes == 42
+        assert result.dram_bytes == 42
+        assert result.noc_bytes == 8

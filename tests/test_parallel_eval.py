@@ -154,6 +154,42 @@ class TestEvalCache:
         assert len(cache) == 0
 
 
+class TestCodeVersionInvalidation:
+    """The code-version digest must cover the whole simulator — in
+    particular the repro.machine composition layer — so editing any of it
+    invalidates cached comparisons."""
+
+    def test_machine_layer_is_covered_by_the_digest(self):
+        from repro.eval.cache import source_files
+        covered = {p.as_posix() for p in source_files()}
+        for module in ("machine/machine.py", "machine/session.py",
+                       "machine/metrics.py", "machine/result.py"):
+            assert any(path.endswith(f"repro/{module}") for path in covered), \
+                f"repro/{module} missing from code-version digest"
+
+    def test_machine_layer_change_invalidates_digest(self, tmp_path):
+        from repro.eval.cache import digest_tree
+        (tmp_path / "machine").mkdir()
+        source = tmp_path / "machine" / "session.py"
+        source.write_text("STALL_LIMIT = 1\n")
+        before = digest_tree(tmp_path)
+        source.write_text("STALL_LIMIT = 2\n")
+        assert digest_tree(tmp_path) != before
+
+    def test_code_version_change_invalidates_cache_keys(self, tmp_path,
+                                                        monkeypatch):
+        import repro.eval.cache as cache_mod
+        cache = EvalCache(tmp_path)
+        workload = SpmvWorkload()
+        delta_cfg = default_delta_config(LANES)
+        static_cfg = default_baseline_config(lanes=LANES)
+        old = cache.key_for(workload, delta_cfg, static_cfg)
+        monkeypatch.setattr(cache_mod, "code_version",
+                            lambda: "machine-layer-edited")
+        new = cache.key_for(workload, delta_cfg, static_cfg)
+        assert new != old
+
+
 class TestSpeedupGuard:
     def test_zero_cycle_delta_yields_infinite_speedup(self):
         comparison = run_suite(lanes=LANES,

@@ -16,8 +16,8 @@ These are the repository's strongest correctness guarantees:
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.config import FabricConfig, FeatureFlags, default_delta_config
-from repro.arch.dfg import Dfg, FuClass, Op
-from repro.arch.mapper import Mapper, MappingError
+from repro.arch.dfg import Dfg, Op
+from repro.arch.mapper import Mapper
 from repro.baseline.static import StaticParallel
 from repro.arch.config import default_baseline_config
 from repro.core.delta import Delta

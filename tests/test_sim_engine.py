@@ -3,11 +3,9 @@
 import pytest
 
 from repro.sim import (
-    DeadlockError,
     Environment,
     Event,
     Interrupt,
-    Process,
     SimulationError,
 )
 

@@ -1,15 +1,11 @@
 """Unit tests for stream engines and the lane (config cache, compute)."""
 
-import pytest
-
 from repro.arch.config import FabricConfig, LaneConfig
 from repro.arch.dfg import axpy_dfg, dot_product_dfg, merge_dfg
 from repro.arch.dram import Dram
 from repro.arch.lane import Lane
 from repro.arch.mapper import Mapper
 from repro.arch.noc import Noc
-from repro.arch.spad import Scratchpad
-from repro.arch.stream_engine import StreamEngine
 from repro.sim import Counters, Environment, Store
 
 

@@ -200,3 +200,25 @@ class TestPartitions:
     def test_partition_rejects_zero_lanes(self, split):
         with pytest.raises(ValueError):
             split(self.make_tasks(3), 0)
+
+    @pytest.mark.parametrize("split", [partition_block, partition_cyclic])
+    def test_partition_empty_phase(self, split):
+        # An empty phase still yields one (empty) bucket per lane so the
+        # static schedule's per-lane iteration stays uniform.
+        parts = split([], 3)
+        assert parts == [[], [], []]
+
+    @pytest.mark.parametrize("split", [partition_block, partition_cyclic])
+    def test_partition_fewer_tasks_than_lanes(self, split):
+        tasks = self.make_tasks(2)
+        parts = split(tasks, 5)
+        assert len(parts) == 5
+        assert sorted(t.task_id for p in parts for t in p) == \
+            sorted(t.task_id for t in tasks)
+        assert all(len(p) <= 1 for p in parts)
+
+    @pytest.mark.parametrize("split", [partition_block, partition_cyclic])
+    def test_partition_single_lane_gets_everything(self, split):
+        tasks = self.make_tasks(7)
+        parts = split(tasks, 1)
+        assert parts == [tasks]

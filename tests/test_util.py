@@ -1,6 +1,5 @@
 """Unit tests for repro.util (rng, stats, validation)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

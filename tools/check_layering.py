@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Import-layering check for the ``repro`` package.
+
+The architecture is layered bottom-up::
+
+    repro.util      (leaf helpers)
+    repro.sim       (discrete-event kernel)
+    repro.arch      (hardware component models)
+    repro.machine   (datapath composition + run lifecycle + metrics bus)
+    repro.core      (the Delta / TaskStream execution model)
+    repro.baseline  (alternative execution models on the same machine)
+    repro.isa / repro.workloads / repro.eval / repro.cli (top)
+
+This script parses every source file's *runtime* imports (``if
+TYPE_CHECKING:`` blocks are exempt — they never execute) and fails on any
+edge that points down-to-up, most importantly:
+
+- ``baseline -> core.delta`` — the inversion this check was introduced to
+  prevent: baselines must run through ``repro.machine``, never reach into
+  the Delta runtime;
+- ``arch -> core`` — hardware component models must stay
+  execution-model agnostic.
+
+Run from the repository root (CI does)::
+
+    python tools/check_layering.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Forbidden import edges: (source package prefix, target module prefix).
+#: A module whose dotted name starts with the source prefix may not import
+#: any module whose dotted name starts with the target prefix.
+FORBIDDEN_EDGES: list[tuple[str, str, str]] = [
+    # The headline rules.
+    ("repro.baseline", "repro.core.delta",
+     "baselines must run through repro.machine, not the Delta runtime"),
+    ("repro.arch", "repro.core",
+     "hardware models must stay execution-model agnostic"),
+    # The rest of the bottom-up ordering.
+    ("repro.sim", "repro.arch", "the event kernel is below the hardware"),
+    ("repro.sim", "repro.machine", "the event kernel is below the machine"),
+    ("repro.sim", "repro.core", "the event kernel is below the core"),
+    ("repro.arch", "repro.machine",
+     "hardware components are composed by the machine, not vice versa"),
+    ("repro.arch", "repro.baseline", "hardware is below execution models"),
+    ("repro.arch", "repro.eval", "hardware is below the harness"),
+    ("repro.machine", "repro.core",
+     "the machine layer hosts execution models, it must not know them"),
+    ("repro.machine", "repro.baseline",
+     "the machine layer hosts execution models, it must not know them"),
+    ("repro.machine", "repro.eval", "the machine is below the harness"),
+    ("repro.machine", "repro.workloads", "the machine is below workloads"),
+    ("repro.core", "repro.eval", "execution models are below the harness"),
+    ("repro.baseline", "repro.eval",
+     "execution models are below the harness"),
+    ("repro.workloads", "repro.eval", "workloads are below the harness"),
+]
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    """Dotted module name of ``path`` relative to the ``src`` root."""
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    test = node.test
+    return ((isinstance(test, ast.Name) and test.id == "TYPE_CHECKING")
+            or (isinstance(test, ast.Attribute)
+                and test.attr == "TYPE_CHECKING"))
+
+
+def runtime_imports(tree: ast.Module) -> list[str]:
+    """Dotted names imported at runtime (skipping TYPE_CHECKING blocks)."""
+    imports: list[str] = []
+
+    def visit(nodes: list[ast.stmt]) -> None:
+        for node in nodes:
+            if isinstance(node, ast.Import):
+                imports.extend(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports do not occur in this codebase; level>0
+                # would need resolving against the module package.
+                if node.module is not None and node.level == 0:
+                    imports.append(node.module)
+            elif isinstance(node, ast.If):
+                if not _is_type_checking_guard(node):
+                    visit(node.body)
+                visit(node.orelse)
+            elif hasattr(node, "body"):
+                for field in ("body", "orelse", "finalbody", "handlers"):
+                    children = getattr(node, field, [])
+                    visit([c for c in children if isinstance(c, ast.stmt)])
+                    for child in children:
+                        if isinstance(child, ast.ExceptHandler):
+                            visit(child.body)
+    visit(tree.body)
+    return imports
+
+
+def _matches(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+def check_layering(src_root: Path) -> list[str]:
+    """Return one violation message per forbidden edge found (empty = ok)."""
+    violations: list[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = module_name(path, src_root)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported in runtime_imports(tree):
+            for source_prefix, target_prefix, why in FORBIDDEN_EDGES:
+                if (_matches(module, source_prefix)
+                        and _matches(imported, target_prefix)):
+                    violations.append(
+                        f"{module} imports {imported} "
+                        f"(forbidden: {source_prefix} -> {target_prefix}; "
+                        f"{why})")
+    return violations
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parents[1]
+    src_root = repo_root / "src"
+    violations = check_layering(src_root)
+    if violations:
+        print(f"layering check FAILED ({len(violations)} violation(s)):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("layering check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
