@@ -13,8 +13,10 @@ design* — identical lanes, scratchpads, NoC and DRAM (the shared
   task* (no multicast), and inter-task data always takes the
   DRAM round trip (producer writes, consumer re-reads).
 
-The task set itself is identical to what Delta executes (obtained by
-functionally expanding the same program), which is what makes the
+The task set itself is identical to what Delta executes: the program is
+elaborated once through :func:`repro.graph.recover_structure` (the same
+functional expansion, plus validation and typed edges) and the baseline
+partitions the IR's barrier phases. That sharing is what makes the
 comparison apples-to-apples.
 """
 
@@ -24,14 +26,9 @@ from typing import Generator, Optional
 
 from repro.arch.config import MachineConfig
 from repro.arch.lane import Lane
-from repro.core.program import (
-    ExpandedProgram,
-    Program,
-    expand_program,
-    partition_block,
-    partition_cyclic,
-)
+from repro.core.program import Program, partition_block, partition_cyclic
 from repro.core.task import Task
+from repro.graph.ir import TaskGraph, recover_structure
 from repro.machine import Machine, RunResult, RunSession
 from repro.sim import Store
 from repro.sim.trace import NullTracer, Tracer
@@ -50,30 +47,31 @@ class StaticParallel:
     def run(self, program: Program,
             max_cycles: Optional[float] = None,
             trace: bool = False) -> RunResult:
-        """Expand the program, statically schedule it, and simulate."""
-        expanded = expand_program(program)
+        """Recover the program's structure, statically schedule each of
+        the IR's barrier phases, and simulate."""
+        graph = recover_structure(program)
         machine = Machine.build(self.config,
                                 tracer=Tracer() if trace else NullTracer(),
                                 multicast_enabled=False)
-        return _StaticRun(machine, expanded, self.partition).run(max_cycles)
+        return _StaticRun(machine, graph, self.partition).run(max_cycles)
 
 
 class _StaticRun:
-    """The static phase schedule over one fresh machine."""
+    """The static phase schedule of one recovered task graph."""
 
-    def __init__(self, machine: Machine, expanded: ExpandedProgram,
+    def __init__(self, machine: Machine, graph: TaskGraph,
                  partition: str) -> None:
         self.machine = machine
         self.config = machine.config
-        self.expanded = expanded
+        self.graph = graph
         self.partition = partition
         self.tracer = machine.tracer
         self.env = machine.env
         self.metrics = machine.metrics
         self.lanes = machine.lanes
         self.session = RunSession(machine, "static",
-                                  expanded.program.name,
-                                  expanded.program.state)
+                                  graph.program.name,
+                                  graph.program.state)
 
     def run(self, max_cycles: Optional[float]) -> RunResult:
         """Run the phase schedule to completion and collect results."""
@@ -82,14 +80,14 @@ class _StaticRun:
             max_cycles,
             finished=lambda: done.triggered,
             stall_detail=lambda: (
-                f"with {len(self.expanded.tasks) - self.session.tasks_executed}"
-                f" of {len(self.expanded.tasks)} tasks unfinished"))
+                f"with {len(self.graph.tasks) - self.session.tasks_executed}"
+                f" of {len(self.graph.tasks)} tasks unfinished"))
         return self.session.result(cycles=self.env.now)
 
     def _main(self) -> Generator:
         split = (partition_block if self.partition == "block"
                  else partition_cyclic)
-        for phase_index, phase in enumerate(self.expanded.phases):
+        for phase_index, phase in enumerate(self.graph.phases):
             if not phase:
                 continue
             assignments = split(phase, self.config.lanes)

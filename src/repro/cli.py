@@ -28,6 +28,7 @@ from repro.arch.config import (
 from repro.baseline.static import StaticParallel
 from repro.core.delta import Delta
 from repro.eval.experiments import ALL_EXPERIMENTS
+from repro.eval.runner import attach_structure
 from repro.eval.runner import compare as run_compare
 from repro.eval.runner import run_suite, suite_geomean
 from repro.eval.tables import format_table
@@ -112,9 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_show = sub.add_parser("show", help="render a workload's structure")
     p_show.add_argument("workload")
     p_show.add_argument("--what", default="tasks",
-                        choices=["tasks", "dfg", "mapping"],
-                        help="task graph DOT, kernel DFG DOT, or the "
-                             "fabric placement")
+                        choices=["tasks", "dfg", "mapping", "graph"],
+                        help="task graph DOT, kernel DFG DOT, the fabric "
+                             "placement, or the recovered TaskGraph IR "
+                             "(typed-edge DOT + structure summary)")
+    p_show.add_argument("--lanes", type=int, default=8,
+                        help="lane count for the --what graph speedup "
+                             "bound (default 8)")
     return parser
 
 
@@ -170,10 +175,16 @@ def _cmd_compare(args) -> int:
                                      features=_features(args))
     delta_cfg = delta_cfg.with_policy(args.policy)
     comparison = run_compare(workload, delta_cfg)
+    attach_structure([comparison], workloads=[workload])
     print(comparison.delta.summary())
     print(comparison.static.summary())
     print(f"speedup {comparison.speedup:.2f}x, "
           f"DRAM traffic reduction {comparison.traffic_ratio:.2f}x")
+    if comparison.cp_bound is not None:
+        s = comparison.structure
+        print(f"critical-path speedup bound {comparison.cp_bound:.2f}x "
+              f"at {comparison.lanes} lanes "
+              f"(inherent parallelism {s.parallelism:.2f})")
     return 0
 
 
@@ -191,15 +202,22 @@ def _cmd_suite(args) -> int:
 def _cmd_eval(args) -> int:
     import time
 
+    from pathlib import Path
+
     from repro.eval.cache import EvalCache
     from repro.eval.parallel import default_jobs, run_suite_parallel
     from repro.eval.runner import simulation_count
+    from repro.graph.cache import StructureCache
 
     cache = None
+    structure_cache = None
     if not args.no_cache:
         cache = EvalCache(args.cache_dir) if args.cache_dir else EvalCache()
+        structure_cache = StructureCache(
+            Path(args.cache_dir) / "structure" if args.cache_dir else None)
         if args.clear_cache:
             removed = cache.clear()
+            removed += structure_cache.clear()
             print(f"cleared {removed} cached result(s)")
     workloads = None
     if args.workloads:
@@ -211,11 +229,13 @@ def _cmd_eval(args) -> int:
     comparisons = run_suite_parallel(lanes=args.lanes, workloads=workloads,
                                      jobs=jobs, timeout=args.timeout,
                                      cache=cache)
+    attach_structure(comparisons, workloads=workloads,
+                     cache=structure_cache)
     elapsed = time.perf_counter() - started
-    rows = [c.row() for c in comparisons]
+    rows = [c.row_with_bound() for c in comparisons]
     print(format_table(
         ["workload", "delta cyc", "static cyc", "speedup",
-         "delta CV", "static CV"], rows,
+         "delta CV", "static CV", "cp bound"], rows,
         title=f"evaluation suite ({args.lanes} lanes, {jobs} jobs)"))
     print(f"geomean speedup: {suite_geomean(comparisons):.2f}x")
     # Simulations counted in this process: parallel points simulate in
@@ -225,6 +245,8 @@ def _cmd_eval(args) -> int:
           f"{local_sims} simulated in this process")
     if cache is not None:
         print(cache.stats())
+    if structure_cache is not None:
+        print(structure_cache.stats())
     return 0
 
 
@@ -248,6 +270,14 @@ def _cmd_show(args) -> int:
     program = workload.build_program()
     if args.what == "tasks":
         print(task_graph_dot(expand_program(program)))
+        return 0
+    if args.what == "graph":
+        from repro.graph import graph_dot, graph_summary, recover_structure
+
+        graph = recover_structure(program)
+        print(graph_dot(graph))
+        print()
+        print(graph_summary(graph, lanes=args.lanes))
         return 0
     # One rendering per distinct kernel DFG in the program.
     expanded = expand_program(program)

@@ -30,7 +30,7 @@ is how the ablation experiments (figure F2) switch them off one by one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, Mapping, Optional
 
 from repro.arch.config import MachineConfig
 from repro.arch.lane import Lane
@@ -65,22 +65,33 @@ class Delta:
 
     def run(self, program: Program,
             max_cycles: Optional[float] = None,
-            trace: bool = False) -> RunResult:
+            trace: bool = False,
+            sharing_degrees: Optional[Mapping[str, int]] = None,
+            ) -> RunResult:
         """Simulate ``program`` to completion and return the result.
 
         With ``trace=True`` the result carries a :class:`~repro.sim.trace.
         Tracer` timeline (task spans per lane, reconfigurations, shared
         fetches) exportable to Chrome tracing JSON.
+
+        ``sharing_degrees`` (region name → expected reader count, e.g.
+        ``StructureSummary.sharing_degrees`` from :mod:`repro.graph`)
+        enables the multicast oracle: coalescing windows close as soon as
+        a region's whole sharing set has requested it. Omitted (the
+        default), timing is bit-identical to the fixed-window design.
         """
         machine = Machine.build(self.config,
                                 tracer=Tracer() if trace else NullTracer())
-        return _DeltaRun(machine, program).run(max_cycles)
+        return _DeltaRun(machine, program,
+                         sharing_degrees=sharing_degrees).run(max_cycles)
 
 
 class _DeltaRun:
     """The TaskStream execution model over one fresh machine."""
 
-    def __init__(self, machine: Machine, program: Program) -> None:
+    def __init__(self, machine: Machine, program: Program,
+                 sharing_degrees: Optional[Mapping[str, int]] = None,
+                 ) -> None:
         self.machine = machine
         self.config = machine.config
         self.program = program
@@ -99,7 +110,8 @@ class _DeltaRun:
             self.features, self.rng.fork("dispatch"))
         self.mcast = MulticastManager(
             self.env, self.metrics, self.noc, self.dram, self.lanes,
-            window_cycles=self.config.effective_mcast_window())
+            window_cycles=self.config.effective_mcast_window(),
+            expected_degrees=sharing_degrees)
         self.dispatcher.affinity_window = float(
             self.config.lane.config_cycles)
         self.session = RunSession(machine, "delta", program.name,

@@ -26,8 +26,11 @@ def task_graph_dot(expanded: ExpandedProgram,
 
     Solid edges are pipelined stream dependences; dashed edges are
     completion (``after``) dependences. Nodes are coloured per task type.
-    Raises :class:`ValueError` for graphs beyond ``max_tasks`` (DOT
-    renders of huge graphs help nobody — filter first).
+    Also accepts a :class:`~repro.graph.ir.TaskGraph` (anything with
+    ``tasks`` and a typed ``edges`` list) — spawn edges are then drawn
+    dotted grey in addition to the dependence edges. Raises
+    :class:`ValueError` for graphs beyond ``max_tasks`` (DOT renders of
+    huge graphs help nobody — filter first).
     """
     tasks = expanded.tasks
     if len(tasks) > max_tasks:
@@ -49,14 +52,25 @@ def task_graph_dot(expanded: ExpandedProgram,
         lines.append(
             f'  t{task.task_id} [label="{label}", '
             f'fillcolor={colors[task.type.name]}];')
-    for task in tasks:
-        for dep in task.after:
+    # Typed-IR input (repro.graph.TaskGraph, duck-typed so this module
+    # stays below the graph layer): render its edge list directly.
+    typed_edges = getattr(expanded, "edges", None)
+    if typed_edges is not None:
+        styles = {"after": "[style=dashed]",
+                  "stream": "[penwidth=2]",
+                  "spawn": "[style=dotted, color=grey]"}
+        for edge in typed_edges:
             lines.append(
-                f"  t{dep.task_id} -> t{task.task_id} [style=dashed];")
-        for producer in task.stream_from:
-            lines.append(
-                f"  t{producer.task_id} -> t{task.task_id} "
-                f"[penwidth=2];")
+                f"  t{edge.src} -> t{edge.dst} {styles[edge.kind.value]};")
+    else:
+        for task in tasks:
+            for dep in task.after:
+                lines.append(
+                    f"  t{dep.task_id} -> t{task.task_id} [style=dashed];")
+            for producer in task.stream_from:
+                lines.append(
+                    f"  t{producer.task_id} -> t{task.task_id} "
+                    f"[penwidth=2];")
     lines.append("}")
     return "\n".join(lines)
 

@@ -20,18 +20,31 @@ dropped and recomputed instead of poisoning a sweep.
 
 The default cache root is ``.repro-cache/`` at the repository root (next
 to ``pyproject.toml``), or ``~/.cache/repro-eval`` for installed copies;
-``REPRO_CACHE_DIR`` overrides both.
+``REPRO_CACHE_DIR`` overrides both. The code-version digest, cache-root
+resolution, and workload identity key are shared with the structure cache
+(:mod:`repro.graph.cache`) and live in :mod:`repro.util.codebase` /
+:mod:`repro.util.fingerprint`; this module re-exports them under their
+historical names.
 """
 
 from __future__ import annotations
 
-import functools
 import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
-from repro.util.fingerprint import comparison_fingerprint, stable_hash
+from repro.util.codebase import (  # noqa: F401  (re-exported compat names)
+    code_version,
+    default_cache_root,
+    digest_tree,
+    source_files,
+)
+from repro.util.fingerprint import (  # noqa: F401  (re-exported compat name)
+    comparison_fingerprint,
+    stable_hash,
+    workload_cache_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.config import MachineConfig
@@ -40,71 +53,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the entry layout changes; old entries are simply never hit.
 CACHE_FORMAT = 1
-
-_SCALAR_TYPES = (bool, int, float, str, bytes, type(None))
-
-
-def source_files(package_root: Optional[Path] = None) -> list[Path]:
-    """Every ``repro`` source file covered by the code-version digest.
-
-    Defaults to the installed ``repro`` package root; tests pass a synthetic
-    tree to prove specific subpackages (e.g. ``repro.machine``) participate
-    in cache invalidation.
-    """
-    if package_root is None:
-        package_root = Path(__file__).resolve().parents[1]
-    return sorted(package_root.rglob("*.py"))
-
-
-def digest_tree(package_root: Optional[Path] = None) -> str:
-    """Digest of every source file under ``package_root`` (path + bytes)."""
-    if package_root is None:
-        package_root = Path(__file__).resolve().parents[1]
-    digest_parts = []
-    for source in source_files(package_root):
-        digest_parts.append(source.relative_to(package_root).as_posix())
-        digest_parts.append(source.read_bytes())
-    return stable_hash(*digest_parts)
-
-
-@functools.lru_cache(maxsize=1)
-def code_version() -> str:
-    """Digest of every ``repro`` source file, stable within one checkout.
-
-    Any edit to the simulator — including the :mod:`repro.machine`
-    composition layer — the workloads, or the harness changes this value
-    and thereby invalidates the whole cache — the conservative choice: a
-    cache must never survive a change that could alter results.
-    """
-    return digest_tree()
-
-
-def workload_cache_key(workload: "Workload") -> str:
-    """Stable identity of a workload instance.
-
-    Captures the class, the display name, every scalar constructor-style
-    attribute (sizes, seeds, rows-per-task, ...), and the T2 description
-    row. Generated inputs themselves are *not* hashed: they are a
-    deterministic function of these parameters (the determinism contract).
-    """
-    cls = type(workload)
-    scalars = sorted(
-        (k, v) for k, v in vars(workload).items()
-        if isinstance(v, _SCALAR_TYPES))
-    return stable_hash(f"{cls.__module__}.{cls.__qualname__}",
-                       workload.name, scalars,
-                       sorted(workload.describe().items()))
-
-
-def default_cache_root() -> Path:
-    """Resolve the cache directory (see module docstring)."""
-    override = os.environ.get("REPRO_CACHE_DIR")
-    if override:
-        return Path(override)
-    repo_root = Path(__file__).resolve().parents[3]
-    if (repo_root / "pyproject.toml").exists():
-        return repo_root / ".repro-cache"
-    return Path.home() / ".cache" / "repro-eval"
 
 
 class EvalCache:

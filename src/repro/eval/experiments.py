@@ -9,7 +9,10 @@ throughout; pass smaller workload sets to iterate quickly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.cache import StructureCache
 
 from repro.arch.area import estimate_area
 from repro.arch.config import (
@@ -21,7 +24,12 @@ from repro.arch.config import (
 from repro.baseline.static import StaticParallel
 from repro.core.delta import Delta
 from repro.eval.figures import bar_chart, series_table
-from repro.eval.runner import compare, run_suite, suite_geomean
+from repro.eval.runner import (
+    attach_structure,
+    compare,
+    run_suite,
+    suite_geomean,
+)
 from repro.eval.tables import format_table
 from repro.util.stats import geomean
 from repro.workloads import all_workloads, get_workload
@@ -79,20 +87,40 @@ def t1_machine_config(config: Optional[MachineConfig] = None,
 # --------------------------------------------------------------------- T2
 
 def t2_workload_table(workloads: Optional[Sequence[Workload]] = None,
+                      structure_cache: Optional["StructureCache"] = None,
                       ) -> ExperimentResult:
-    """Workload-characteristics table."""
+    """Workload-characteristics table.
+
+    The last three columns come from the recovered task graph
+    (:mod:`repro.graph`): barrier-phase count, inherent parallelism
+    (T1/T∞), and the shared-region sharing sets (count and total reader
+    degree). ``structure_cache`` serves warm summaries from disk.
+    """
+    from repro.eval.runner import workload_structures
+
     workloads = list(workloads) if workloads is not None else all_workloads()
+    structures = workload_structures(workloads, cache=structure_cache)
     rows = []
     for w in workloads:
         d = w.describe()
         mean_work = d.get("mean_work", 0)
         cv = d.get("cv_work", 0)
-        rows.append([d["name"], d.get("tasks", "?"),
-                     f"{float(mean_work):,.0f}" if mean_work else "-",
-                     f"{float(cv):.2f}" if cv else "-",
-                     d.get("mechanisms", "")])
+        row = [d["name"], d.get("tasks", "?"),
+               f"{float(mean_work):,.0f}" if mean_work else "-",
+               f"{float(cv):.2f}" if cv else "-",
+               d.get("mechanisms", "")]
+        s = structures.get(w.name)
+        if s is None:
+            row += ["-", "-", "-"]
+        else:
+            degrees = sum(sh.degree for sh in s.sharing)
+            row += [s.phases, f"{s.parallelism:.1f}",
+                    f"{s.shared_regions} ({degrees} readers)"
+                    if s.shared_regions else "-"]
+        rows.append(row)
     text = format_table(
-        ["workload", "tasks", "mean work", "work CV", "structure exercised"],
+        ["workload", "tasks", "mean work", "work CV", "structure exercised",
+         "phases", "T1/Tinf", "sharing sets"],
         rows, title="T2: workload characteristics")
     return ExperimentResult("T2", "workload characteristics", rows, text)
 
@@ -102,9 +130,18 @@ def t2_workload_table(workloads: Optional[Sequence[Workload]] = None,
 def f1_headline_speedup(lanes: int = 8,
                         workloads: Optional[Sequence[Workload]] = None,
                         jobs: Optional[int] = None,
+                        structure_cache: Optional["StructureCache"] = None,
                         ) -> ExperimentResult:
-    """Per-workload Delta vs static speedup plus geomean (headline claim)."""
+    """Per-workload Delta vs static speedup plus geomean (headline claim).
+
+    The detail table's final ``cp bound`` column is the critical-path
+    speedup limit min(L, T1/T∞) from the recovered task graph — measured
+    speedups must sit below it (appended last so golden-file parsers keyed
+    on the leading columns keep working).
+    """
     comparisons = run_suite(lanes=lanes, workloads=workloads, jobs=jobs)
+    attach_structure(comparisons, workloads=workloads,
+                     cache=structure_cache)
     labels = [c.workload for c in comparisons] + ["GEOMEAN"]
     values = [c.speedup for c in comparisons]
     values.append(suite_geomean(comparisons))
@@ -113,8 +150,8 @@ def f1_headline_speedup(lanes: int = 8,
                             f"({lanes} lanes)")
     detail = format_table(
         ["workload", "delta cyc", "static cyc", "speedup",
-         "delta CV", "static CV"],
-        [c.row() for c in comparisons])
+         "delta CV", "static CV", "cp bound"],
+        [c.row_with_bound() for c in comparisons])
     return ExperimentResult("F1", "headline speedup", comparisons,
                             chart + "\n\n" + detail)
 

@@ -18,6 +18,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.eval.cache import EvalCache
+    from repro.graph.analyses import StructureSummary
+    from repro.graph.cache import StructureCache
 
 from repro.arch.config import (
     MachineConfig,
@@ -34,11 +36,19 @@ from repro.workloads.base import Workload
 
 @dataclass
 class Comparison:
-    """Delta vs static results for one workload."""
+    """Delta vs static results for one workload.
+
+    ``structure`` is optionally filled by :func:`attach_structure` with the
+    workload's recovered-structure summary (:mod:`repro.graph`), which adds
+    the critical-path speedup bound to reports. It is deliberately outside
+    the comparison fingerprint: structure is an *analysis* of the program,
+    not a measured statistic.
+    """
 
     workload: str
     delta: RunResult
     static: RunResult
+    structure: Optional["StructureSummary"] = None
 
     @property
     def speedup(self) -> float:
@@ -54,12 +64,34 @@ class Comparison:
             return float("inf")
         return self.static.dram_bytes / self.delta.dram_bytes
 
+    @property
+    def lanes(self) -> int:
+        """Lane count both machines ran with."""
+        return len(self.delta.lane_busy)
+
+    @property
+    def cp_bound(self) -> Optional[float]:
+        """Critical-path speedup bound min(L, T1/T∞), if structure known.
+
+        An upper bound on *any* dynamic schedule's speedup at this lane
+        count; the measured speedup should sit below it.
+        """
+        if self.structure is None:
+            return None
+        return self.structure.speedup_bound(self.lanes)
+
     def row(self) -> list:
         """Table row used by several reports."""
         return [self.workload, f"{self.delta.cycles:,.0f}",
                 f"{self.static.cycles:,.0f}", f"{self.speedup:.2f}x",
                 f"{self.delta.imbalance_cv:.3f}",
                 f"{self.static.imbalance_cv:.3f}"]
+
+    def row_with_bound(self) -> list:
+        """:meth:`row` plus the critical-path bound column (appended last
+        so golden-file parsers keyed on the first columns keep working)."""
+        bound = self.cp_bound
+        return self.row() + ["-" if bound is None else f"{bound:.2f}x"]
 
 
 #: Count of simulations run in this process — each compare() simulates the
@@ -120,3 +152,50 @@ def run_suite(lanes: int = 8,
 def suite_geomean(comparisons: Sequence[Comparison]) -> float:
     """Geomean speedup across a comparison set."""
     return geomean([c.speedup for c in comparisons])
+
+
+def workload_structures(workloads: Sequence[Workload],
+                        cache: Optional["StructureCache"] = None,
+                        ) -> dict:
+    """Recovered-structure summaries keyed by workload name.
+
+    Workloads whose programs fail structure validation are skipped (they
+    cannot run either); with a cache, warm entries skip re-expansion.
+    """
+    from repro.graph.cache import structure_summary
+    from repro.graph.ir import GraphValidationError
+
+    structures = {}
+    for workload in workloads:
+        try:
+            structures[workload.name] = structure_summary(workload,
+                                                          cache=cache)
+        except GraphValidationError:
+            continue
+    return structures
+
+
+def attach_structure(comparisons: Sequence[Comparison],
+                     workloads: Optional[Sequence[Workload]] = None,
+                     cache: Optional["StructureCache"] = None,
+                     ) -> Sequence[Comparison]:
+    """Fill each comparison's ``structure`` with its recovered summary.
+
+    Resolves workloads by name (pass ``workloads`` when the comparisons
+    came from non-registered instances). With a
+    :class:`~repro.graph.cache.StructureCache`, warm entries skip program
+    re-expansion entirely. Returns the same list for chaining.
+    """
+    from repro.graph.cache import structure_summary
+    from repro.workloads import get_workload
+
+    by_name = {w.name: w for w in workloads} if workloads else {}
+    for comparison in comparisons:
+        workload = by_name.get(comparison.workload)
+        if workload is None:
+            try:
+                workload = get_workload(comparison.workload)
+            except KeyError:
+                continue  # unknown/ad-hoc workload: leave structure unset
+        comparison.structure = structure_summary(workload, cache=cache)
+    return comparisons

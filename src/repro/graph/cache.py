@@ -1,0 +1,136 @@
+"""On-disk structure cache: recovered program structure, keyed like results.
+
+Recovering structure means elaborating the whole program — every kernel
+runs. For the evaluation suite that cost is paid per (workload, experiment)
+point even though the structure depends only on the workload and the code
+version. This cache stores the picklable :class:`StructureSummary` under
+exactly the contract of :class:`repro.eval.cache.EvalCache`:
+
+- keyed by ``stable_hash(format, code_version(), workload_cache_key(w))``
+  — any edit to any ``repro`` source file (including ``repro/graph/``
+  itself) invalidates every entry;
+- each entry stores a fingerprint alongside the payload and is re-verified
+  on load, so corruption is dropped and recomputed, never served;
+- entries live in a ``structure/`` subdirectory of the shared cache root,
+  so the result cache's ``clear()``/``len()`` (which glob the root) and
+  this cache never touch each other's files.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.graph.analyses import StructureSummary, summarize
+from repro.graph.ir import recover_structure
+from repro.util.codebase import code_version, default_cache_root
+from repro.util.fingerprint import stable_hash, workload_cache_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.base import Workload
+
+#: Bump when StructureSummary's layout changes; old entries are never hit.
+STRUCTURE_FORMAT = 1
+
+
+def _summary_fingerprint(summary: StructureSummary) -> str:
+    return stable_hash(summary)
+
+
+class StructureCache:
+    """Content-addressed store of :class:`StructureSummary` payloads."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        if root is None:
+            root = default_cache_root() / "structure"
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying ----------------------------------------------------------
+
+    def key_for(self, workload: "Workload") -> str:
+        """Cache key for one workload's recovered structure."""
+        return stable_hash(STRUCTURE_FORMAT, code_version(),
+                           workload_cache_key(workload))
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- storage ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[StructureSummary]:
+        """Load an entry, or None on miss/corruption (entry then dropped)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            summary = entry["summary"]
+            if entry["fingerprint"] != _summary_fingerprint(summary):
+                raise ValueError("fingerprint mismatch")
+            if not isinstance(summary, StructureSummary):
+                raise TypeError("not a StructureSummary")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: StructureSummary) -> None:
+        """Store an entry atomically (rename over a temp file)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        payload = {"fingerprint": _summary_fingerprint(summary),
+                   "summary": summary}
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def stats(self) -> str:
+        """One-line hit/miss summary for CLI output."""
+        return (f"structure cache {self.root}: {self.hits} hits, "
+                f"{self.misses} misses, {self.stores} stored, "
+                f"{len(self)} entries")
+
+
+def structure_summary(workload: "Workload",
+                      cache: Optional[StructureCache] = None,
+                      ) -> StructureSummary:
+    """Recovered structure of a workload's program, through the cache.
+
+    With no cache the workload's program is built and elaborated fresh.
+    With a cache, a warm entry skips both program construction *and*
+    kernel re-expansion entirely — the wall-clock win recorded in
+    EXPERIMENTS.md.
+    """
+    if cache is None:
+        return summarize(recover_structure(workload.build_program()))
+    key = cache.key_for(workload)
+    summary = cache.get(key)
+    if summary is None:
+        summary = summarize(recover_structure(workload.build_program()))
+        cache.put(key, summary)
+    return summary

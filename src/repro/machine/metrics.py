@@ -134,6 +134,9 @@ class MulticastMetrics(CounterGroup):
     hits = metric("hits", "Requests served from scratchpad residency.")
     coalesced = metric("coalesced", "Requests folded into an open batch.")
     too_large = metric("too_large", "Regions too big to become resident.")
+    early_closes = metric(
+        "early_closes",
+        "Coalescing windows closed early by the sharing-set oracle.")
     disabled_duplicate_fetches = metric(
         "disabled_duplicate_fetches",
         "Shared reads that paid a private fetch (multicast ablated).")

@@ -26,6 +26,9 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.result import RunResult
     from repro.eval.runner import Comparison
+    from repro.workloads.base import Workload
+
+_SCALAR_TYPES = (bool, int, float, str, bytes, type(None))
 
 
 def stable_hash(*parts: object) -> str:
@@ -37,6 +40,25 @@ def stable_hash(*parts: object) -> str:
     """
     payload = "\x1f".join(repr(p) for p in parts)
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def workload_cache_key(workload: "Workload") -> str:
+    """Stable identity of a workload instance.
+
+    Captures the class, the display name, every scalar constructor-style
+    attribute (sizes, seeds, rows-per-task, ...), and the T2 description
+    row. Generated inputs themselves are *not* hashed: they are a
+    deterministic function of these parameters (the determinism contract).
+    Shared by the evaluation result cache and the structure cache, which
+    both key entries by (code version, workload identity, ...).
+    """
+    cls = type(workload)
+    scalars = sorted(
+        (k, v) for k, v in vars(workload).items()
+        if isinstance(v, _SCALAR_TYPES))
+    return stable_hash(f"{cls.__module__}.{cls.__qualname__}",
+                       workload.name, scalars,
+                       sorted(workload.describe().items()))
 
 
 def result_stats(result: "RunResult") -> tuple:

@@ -81,6 +81,14 @@ def test_show_tasks(capsys):
     assert "digraph taskgraph" in capsys.readouterr().out
 
 
+def test_show_graph(capsys):
+    assert main(["show", "micro-chain", "--what", "graph"]) == 0
+    out = capsys.readouterr().out
+    assert "digraph taskgraph" in out
+    assert "critical path" in out
+    assert "speedup bound" in out
+
+
 def test_show_dfg(capsys):
     assert main(["show", "micro-uniform", "--what", "dfg"]) == 0
     assert "digraph" in capsys.readouterr().out

@@ -53,6 +53,35 @@ class TestRepositoryLayering:
                          or name.startswith("repro.machine")]
             assert not offending, f"{path.name}: {offending}"
 
+    def test_core_does_not_import_the_graph_layer(self):
+        # core is the IR's substrate; consuming the IR would be circular.
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "core").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith("repro.graph")]
+            assert not offending, f"{path.name}: {offending}"
+
+    def test_graph_layer_stays_below_its_consumers(self):
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "graph").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith("repro.eval")
+                         or name.startswith("repro.workloads")
+                         or name.startswith("repro.baseline")]
+            assert not offending, f"{path.name}: {offending}"
+
+    def test_graph_edges_are_enforced_by_the_checker(self):
+        # The rules themselves, not just today's tree: a core module that
+        # imports the IR must be reported.
+        checker = load_checker()
+        forbidden_pairs = {(src, dst) for src, dst, _ in
+                           checker.FORBIDDEN_EDGES}
+        assert ("repro.core", "repro.graph") in forbidden_pairs
+        assert ("repro.graph", "repro.eval") in forbidden_pairs
+        assert ("repro.graph", "repro.baseline") in forbidden_pairs
+
 
 class TestCheckerMechanics:
     def test_type_checking_imports_are_exempt(self):

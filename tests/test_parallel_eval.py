@@ -167,6 +167,16 @@ class TestCodeVersionInvalidation:
             assert any(path.endswith(f"repro/{module}") for path in covered), \
                 f"repro/{module} missing from code-version digest"
 
+    def test_graph_layer_is_covered_by_the_digest(self):
+        # The structure layer added after the machine layer must join the
+        # same digest: editing repro/graph/ invalidates eval-cache entries.
+        from repro.eval.cache import source_files
+        covered = {p.as_posix() for p in source_files()}
+        for module in ("graph/ir.py", "graph/analyses.py",
+                       "graph/cache.py", "graph/render.py"):
+            assert any(path.endswith(f"repro/{module}") for path in covered), \
+                f"repro/{module} missing from code-version digest"
+
     def test_machine_layer_change_invalidates_digest(self, tmp_path):
         from repro.eval.cache import digest_tree
         (tmp_path / "machine").mkdir()

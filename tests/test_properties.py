@@ -125,6 +125,30 @@ def test_expansion_task_count_matches(spec):
     assert expanded.task_count == len(spec)
 
 
+@settings(max_examples=25, deadline=None)
+@given(spec=random_program_spec())
+def test_recovered_structure_matches_legacy_expansion(spec):
+    """The TaskGraph IR's ExpandedProgram view equals expand_program on
+    arbitrary dependence-correct programs (the compat contract every
+    legacy consumer relies on)."""
+    from repro.graph.ir import EdgeKind, recover_structure
+
+    legacy = expand_program(build_program_from_spec(spec))
+    graph = recover_structure(build_program_from_spec(spec))
+    view = graph.as_expanded()
+    assert view.task_count == legacy.task_count
+    assert view.total_work == legacy.total_work
+    assert [(t.type.name, t.depth, t.args) for t in view.tasks] == \
+        [(t.type.name, t.depth, t.args) for t in legacy.tasks]
+    assert [[t.args["i"] for t in p] for p in view.phases] == \
+        [[t.args["i"] for t in p] for p in legacy.phases]
+    # Typed edges mirror the spec's dependence choices exactly.
+    n_after = sum(1 for t in spec if t[2] == "after")
+    n_stream = sum(1 for t in spec if t[2] == "stream")
+    assert len(graph.edges_of_kind(EdgeKind.AFTER)) == n_after
+    assert len(graph.edges_of_kind(EdgeKind.STREAM)) == n_stream
+
+
 @settings(max_examples=10, deadline=None)
 @given(spec=random_program_spec(), seed=st.integers(0, 3))
 def test_delta_deterministic_across_runs(spec, seed):

@@ -8,6 +8,7 @@ The architecture is layered bottom-up::
     repro.arch      (hardware component models)
     repro.machine   (datapath composition + run lifecycle + metrics bus)
     repro.core      (the Delta / TaskStream execution model)
+    repro.graph     (the TaskGraph IR: recovered program structure)
     repro.baseline  (alternative execution models on the same machine)
     repro.isa / repro.workloads / repro.eval / repro.cli (top)
 
@@ -59,6 +60,20 @@ FORBIDDEN_EDGES: list[tuple[str, str, str]] = [
     ("repro.baseline", "repro.eval",
      "execution models are below the harness"),
     ("repro.workloads", "repro.eval", "workloads are below the harness"),
+    # The structure layer: core -> graph -> {baseline, eval, ...}. The IR
+    # is derived *from* core's tasks and annotations and consumed by
+    # everything above it; core re-deriving from the IR would be circular.
+    ("repro.core", "repro.graph",
+     "core is the graph layer's substrate, it must not consume the IR"),
+    ("repro.graph", "repro.eval", "the structure layer is below the harness"),
+    ("repro.graph", "repro.workloads",
+     "the structure layer analyses programs, it must not build them"),
+    ("repro.graph", "repro.baseline",
+     "execution models consume the IR, not vice versa"),
+    ("repro.sim", "repro.graph", "the event kernel is below the IR"),
+    ("repro.arch", "repro.graph", "hardware is below the IR"),
+    ("repro.machine", "repro.graph", "the machine is below the IR"),
+    ("repro.util", "repro.graph", "util is the leaf layer"),
 ]
 
 
