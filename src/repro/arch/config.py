@@ -209,6 +209,10 @@ class MachineConfig:
     #: Multicast coalescing window in cycles; None derives it from the
     #: dispatch rate (``max(16, lanes * dispatch_cycles)``).
     mcast_window: Optional[int] = None
+    #: Run with the model sanitizer attached (runtime invariant checking;
+    #: see :mod:`repro.sim.sanitize`). Purely observational: results are
+    #: bit-identical with it on or off — it can only raise.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         check_positive("machine.lanes", self.lanes)
@@ -233,6 +237,10 @@ class MachineConfig:
     def with_policy(self, policy: str) -> "MachineConfig":
         """Copy with a different dispatch policy (sensitivity)."""
         return replace(self, dispatch=replace(self.dispatch, policy=policy))
+
+    def with_sanitize(self, sanitize: bool = True) -> "MachineConfig":
+        """Copy with runtime invariant checking on (or off)."""
+        return replace(self, sanitize=sanitize)
 
 
 def default_delta_config(lanes: int = 8,

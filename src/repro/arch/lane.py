@@ -23,6 +23,7 @@ from repro.arch.noc import Noc
 from repro.arch.spad import Scratchpad
 from repro.arch.stream_engine import StreamEngine
 from repro.sim import Counters, Environment, Store, UtilizationTracker
+from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 
 
 class Lane:
@@ -30,9 +31,11 @@ class Lane:
 
     def __init__(self, env: Environment, counters: Counters, lane_id: int,
                  config: LaneConfig, noc: Noc, dram: Dram,
-                 mapper: Mapper, element_bytes: int = 4) -> None:
+                 mapper: Mapper, element_bytes: int = 4,
+                 sanitizer: Optional[Sanitizer] = None) -> None:
         self.env = env
         self.counters = counters
+        self.sanitizer = sanitizer or NULL_SANITIZER
         self.lane_id = lane_id
         self.config = config
         self.element_bytes = element_bytes
@@ -115,6 +118,7 @@ class Lane:
         # Pipeline fill: depth cycles before the first result emerges.
         yield self.env.timeout(mapping.depth)
         self.tracker.busy(mapping.depth)
+        self.sanitizer.lane_busy(self.lane_id, mapping.depth, self.env.now)
         for step in range(steps):
             step_trips = min(chunk_elems, trips - done_trips)
             for idx, (store, total) in enumerate(in_streams):
@@ -132,6 +136,7 @@ class Lane:
             active = mapping.ii * step_trips
             yield self.env.timeout(active)
             self.tracker.busy(active)
+            self.sanitizer.lane_busy(self.lane_id, active, self.env.now)
             done_trips += step_trips
             for store in out_stores:
                 yield store.put(step_trips)

@@ -19,10 +19,11 @@ of once per destination as repeated unicasts would.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.sim import BandwidthServer, Counters, Environment, Event
 from repro.sim.engine import SimulationError
+from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 
 Coord = tuple[int, int]
 
@@ -35,11 +36,13 @@ class Noc:
 
     def __init__(self, env: Environment, counters: Counters, lanes: int,
                  link_bytes_per_cycle: float, hop_latency: float,
-                 header_bytes: int, multicast_enabled: bool) -> None:
+                 header_bytes: int, multicast_enabled: bool,
+                 sanitizer: Optional[Sanitizer] = None) -> None:
         if lanes < 1:
             raise SimulationError("NoC needs at least one lane")
         self.env = env
         self.counters = counters
+        self.sanitizer = sanitizer or NULL_SANITIZER
         self.hop_latency = hop_latency
         self.header_bytes = header_bytes
         self.multicast_enabled = multicast_enabled
@@ -132,6 +135,7 @@ class Noc:
             self.counters.add("noc.multicast_link_bytes", payload)
             events.append(self._links[link].transfer(payload))
         self.counters.add("noc.multicasts")
+        self.sanitizer.noc_message("multicast", payload, self.env.now)
         done = self.env.event(name="multicast-delivery")
         tail = self.env.all_of(events)
 
@@ -153,6 +157,7 @@ class Noc:
             self.counters.add("noc.bytes", payload)
             events.append(self._links[link].transfer(payload))
         self.counters.add("noc.messages")
+        self.sanitizer.noc_message("unicast", payload, self.env.now)
         done = self.env.event(name="unicast-delivery")
         tail = self.env.all_of(events)
 

@@ -69,12 +69,19 @@ class _StaticRun:
         self.env = machine.env
         self.metrics = machine.metrics
         self.lanes = machine.lanes
+        self.sanitizer = machine.sanitizer
         self.session = RunSession(machine, "static",
                                   graph.program.name,
                                   graph.program.state)
 
     def run(self, max_cycles: Optional[float]) -> RunResult:
         """Run the phase schedule to completion and collect results."""
+        # The static schedule has no dispatcher; the whole task set is
+        # known up front. Register it with the sanitizer (``counted=False``
+        # — no dispatch.* counters to cross-check) so conservation and
+        # dependence legality are enforced here too.
+        for task in self.graph.tasks:
+            self.sanitizer.task_submitted(task, 0.0, counted=False)
         done = self.env.process(self._main(), name="static-main")
         self.session.run_until_complete(
             max_cycles,
@@ -108,10 +115,15 @@ class _StaticRun:
     def _lane_phase(self, lane: Lane, tasks: list[Task]) -> Generator:
         for task in tasks:
             task.lane_id = lane.lane_id
+            self.sanitizer.task_dispatched(task, lane.lane_id,
+                                           self.env.now, counted=False)
             yield from self._execute(lane, task)
 
     def _execute(self, lane: Lane, task: Task) -> Generator:
         t_begin = self.env.now
+        self.sanitizer.lane_acquired(lane.lane_id, task, t_begin)
+        self.sanitizer.task_started(task, lane.lane_id, t_begin,
+                                    pipelining=False)
         mapping = yield from lane.configure(task.type.dfg)
         self.metrics.tasks.add(task.type.name)
 
@@ -156,8 +168,15 @@ class _StaticRun:
         yield self.env.all_of(procs + drains)
         self.tracer.span("task", task.name, lane.name, t_begin,
                          self.env.now, type=task.type.name)
+        self.sanitizer.compute_expected(
+            lane.lane_id, task,
+            0.0 if task.trips <= 0
+            else float(mapping.depth + mapping.ii * task.trips))
         self.session.task_completed()
         task.completed = True
+        self.sanitizer.task_completed(task, lane.lane_id, self.env.now,
+                                      counted=False)
+        self.sanitizer.lane_released(lane.lane_id, task, self.env.now)
 
     def _drain(self, store: Store) -> Generator:
         while True:

@@ -62,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="enable the config-affinity extension")
         p.add_argument("--prefetch", action="store_true",
                        help="enable the stream-prefetch extension")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run with the model sanitizer (runtime "
+                            "invariant checking; identical results)")
         p.add_argument("--seed", type=int, default=0)
 
     p_run = sub.add_parser("run", help="simulate a workload on Delta")
@@ -84,6 +87,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: serial, or "
                               "$REPRO_JOBS)")
+    p_suite.add_argument("--sanitize", action="store_true",
+                         help="run every point with the model sanitizer")
 
     p_eval = sub.add_parser(
         "eval", help="evaluation suite via the parallel, cached harness")
@@ -104,6 +109,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--cache-dir", metavar="DIR",
                         help="cache location (default: .repro-cache/ or "
                              "$REPRO_CACHE_DIR)")
+    p_eval.add_argument("--sanitize", action="store_true",
+                        help="run every point with the model sanitizer")
 
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("experiment_id",
@@ -151,9 +158,13 @@ def _cmd_run(args) -> int:
         config = default_delta_config(lanes=args.lanes, seed=args.seed,
                                       features=_features(args))
         config = config.with_policy(args.policy)
+        if args.sanitize:
+            config = config.with_sanitize(True)
         result = Delta(config).run(program, trace=bool(args.trace))
     else:
         config = default_baseline_config(lanes=args.lanes, seed=args.seed)
+        if args.sanitize:
+            config = config.with_sanitize(True)
         result = StaticParallel(config).run(program,
                                             trace=bool(args.trace))
     workload.check(result.state)
@@ -174,6 +185,8 @@ def _cmd_compare(args) -> int:
     delta_cfg = default_delta_config(lanes=args.lanes, seed=args.seed,
                                      features=_features(args))
     delta_cfg = delta_cfg.with_policy(args.policy)
+    if args.sanitize:
+        delta_cfg = delta_cfg.with_sanitize(True)
     comparison = run_compare(workload, delta_cfg)
     attach_structure([comparison], workloads=[workload])
     print(comparison.delta.summary())
@@ -189,7 +202,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    comparisons = run_suite(lanes=args.lanes, jobs=args.jobs)
+    comparisons = run_suite(lanes=args.lanes, jobs=args.jobs,
+                            sanitize=args.sanitize)
     rows = [c.row() for c in comparisons]
     print(format_table(
         ["workload", "delta cyc", "static cyc", "speedup",
@@ -228,7 +242,7 @@ def _cmd_eval(args) -> int:
     started = time.perf_counter()
     comparisons = run_suite_parallel(lanes=args.lanes, workloads=workloads,
                                      jobs=jobs, timeout=args.timeout,
-                                     cache=cache)
+                                     cache=cache, sanitize=args.sanitize)
     attach_structure(comparisons, workloads=workloads,
                      cache=structure_cache)
     elapsed = time.perf_counter() - started

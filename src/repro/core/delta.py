@@ -52,6 +52,7 @@ class _Channel:
     """A lane-to-lane stream channel for one producer→consumer edge."""
 
     store: Store
+    key: tuple[int, int]
     src_lane: Optional[str] = None
 
 
@@ -105,13 +106,17 @@ class _DeltaRun:
                                     self.config.seed)
         self.features = self.config.features
 
+        self.sanitizer = machine.sanitizer
+        self.sanitizer.set_sharing_degrees(sharing_degrees)
         self.dispatcher = Dispatcher(
             self.env, self.metrics, self.config.dispatch, self.config.lanes,
-            self.features, self.rng.fork("dispatch"))
+            self.features, self.rng.fork("dispatch"),
+            sanitizer=self.sanitizer)
         self.mcast = MulticastManager(
             self.env, self.metrics, self.noc, self.dram, self.lanes,
             window_cycles=self.config.effective_mcast_window(),
-            expected_degrees=sharing_degrees)
+            expected_degrees=sharing_degrees,
+            sanitizer=self.sanitizer)
         self.dispatcher.affinity_window = float(
             self.config.lane.config_cycles)
         self.session = RunSession(machine, "delta", program.name,
@@ -206,6 +211,7 @@ class _DeltaRun:
 
     def _execute(self, lane: Lane, task: Task) -> Generator:
         t_begin = self.env.now
+        self.sanitizer.lane_acquired(lane.lane_id, task, t_begin)
         if lane.config.task_overhead_cycles:
             # Software-runtime regime: dequeue + closure-call cost.
             yield self.env.timeout(lane.config.task_overhead_cycles)
@@ -345,8 +351,13 @@ class _DeltaRun:
                          trips=task.trips, work=task.work)
         if prefetch_region is not None and prefetched_here:
             lane.spad.release(prefetch_region)
+        self.sanitizer.compute_expected(
+            lane.lane_id, task,
+            0.0 if task.trips <= 0
+            else float(mapping.depth + mapping.ii * task.trips))
         self.session.task_completed()
         self.dispatcher.task_completed(task)
+        self.sanitizer.lane_released(lane.lane_id, task, self.env.now)
 
     # -- stream plumbing ------------------------------------------------------------
 
@@ -363,7 +374,7 @@ class _DeltaRun:
         if channel is None:
             chunks = self.lanes[0].streams.chunk_count(producer.write_bytes)
             channel = _Channel(Store(self.env, capacity=chunks + 4,
-                                     name=f"ch{key}"))
+                                     name=f"ch{key}"), key)
             self._channels[key] = channel
         return channel
 
@@ -388,11 +399,18 @@ class _DeltaRun:
             size = min(token * self.config.element_bytes, write_bytes - sent)
             if size > 0:
                 for channel in channels:
+                    # Record at put-issue time: a waiting consumer resumes
+                    # before the put's own done event, so recording after
+                    # the yield would misreport a legal read as ahead.
+                    self.sanitizer.stream_produced(*channel.key, size,
+                                                   self.env.now)
                     yield channel.store.put(size)
                 sent += size
         while sent < write_bytes:
             size = min(chunk, write_bytes - sent)
             for channel in channels:
+                self.sanitizer.stream_produced(*channel.key, size,
+                                               self.env.now)
                 yield channel.store.put(size)
             sent += size
         for channel in channels:
@@ -407,6 +425,7 @@ class _DeltaRun:
             if token is Store.END:
                 break
             size = float(token)
+            self.sanitizer.stream_consumed(*channel.key, size, self.env.now)
             src = channel.src_lane
             if src is not None and src != lane.name:
                 yield self.noc.unicast(src, lane.name, size)

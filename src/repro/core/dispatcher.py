@@ -24,6 +24,7 @@ from typing import Optional
 from repro.arch.config import DispatchConfig, FeatureFlags
 from repro.core.task import Task
 from repro.sim import Counters, Environment, Event, Store
+from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 from repro.util.rng import DeterministicRng
 
 
@@ -32,9 +33,11 @@ class Dispatcher:
 
     def __init__(self, env: Environment, counters: Counters,
                  config: DispatchConfig, lanes: int,
-                 features: FeatureFlags, rng: DeterministicRng) -> None:
+                 features: FeatureFlags, rng: DeterministicRng,
+                 sanitizer: Optional[Sanitizer] = None) -> None:
         self.env = env
         self.counters = counters
+        self.sanitizer = sanitizer or NULL_SANITIZER
         self.config = config
         self.num_lanes = lanes
         self.features = features
@@ -107,6 +110,7 @@ class Dispatcher:
         """Register a task; it dispatches once its dependences allow."""
         self._outstanding += 1
         self.counters.add("dispatch.submitted")
+        self.sanitizer.task_submitted(task, self.env.now)
         waits: list[Event] = []
         for dep in task.after:
             if not dep.completed:
@@ -168,6 +172,10 @@ class Dispatcher:
             self._last_dfg[lane] = task.type.dfg.signature()
             self.counters.add("dispatch.dispatched")
             yield self.queues[lane].put(task)
+            self.sanitizer.task_dispatched(
+                task, lane, self.env.now,
+                queue_level=self.queues[lane].level,
+                queue_depth=self.config.queue_depth)
 
     def _pick(self) -> Optional[tuple[Task, int]]:
         """Choose the next (task, lane) pair, or None to wait.
@@ -251,6 +259,8 @@ class Dispatcher:
     def task_started(self, task: Task) -> None:
         """Called by a lane worker when it begins executing ``task``."""
         task.started = True
+        self.sanitizer.task_started(task, task.lane_id, self.env.now,
+                                    pipelining=self.features.pipelining)
         ev = self._started_events.get(task.task_id)
         if ev is not None and not ev.triggered:
             ev.succeed(task)
@@ -259,6 +269,7 @@ class Dispatcher:
     def task_completed(self, task: Task) -> None:
         """Called by a lane worker when ``task`` finishes."""
         task.completed = True
+        self.sanitizer.task_completed(task, task.lane_id, self.env.now)
         lane = task.lane_id
         if lane is not None:
             self.pending_work[lane] -= task.work + self.config.work_overhead
@@ -302,5 +313,7 @@ class Dispatcher:
             self.pending_work[thief_lane] += task.work + overhead
             self.pending_count[thief_lane] += 1
             task.lane_id = thief_lane
+            self.sanitizer.task_stolen(task, victim, thief_lane,
+                                       self.env.now)
             yield self.queues[thief_lane].put(task)
         return len(stolen)

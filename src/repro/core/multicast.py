@@ -35,6 +35,7 @@ from repro.arch.lane import Lane
 from repro.arch.noc import MEM_NODE, Noc
 from repro.arch.spad import CapacityError
 from repro.sim import Counters, Environment
+from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 
 
 class _Batch:
@@ -56,9 +57,10 @@ class MulticastManager:
                  dram: Dram, lanes: list[Lane],
                  window_cycles: int = 16,
                  expected_degrees: Optional[Mapping[str, int]] = None,
-                 ) -> None:
+                 sanitizer: Optional[Sanitizer] = None) -> None:
         self.env = env
         self.counters = counters
+        self.sanitizer = sanitizer or NULL_SANITIZER
         self.noc = noc
         self.dram = dram
         self.lanes = lanes
@@ -104,11 +106,15 @@ class MulticastManager:
         self._note_request(region)
         if self.is_resident(region, lane_id):
             self.counters.add("mcast.hits")
+            self.sanitizer.shared_request(region, nbytes, lane_id, "hit",
+                                          self.env.now)
             return
         batch = self._batches.get(region)
         if batch is not None and batch.open:
             batch.lanes.add(lane_id)
             self.counters.add("mcast.coalesced")
+            self.sanitizer.shared_request(region, nbytes, lane_id,
+                                          "coalesced", self.env.now)
             self._maybe_fill(batch)
             yield batch.done
             return
@@ -116,6 +122,8 @@ class MulticastManager:
         batch.lanes.add(lane_id)
         self._batches[region] = batch
         self.counters.add("mcast.fetches")
+        self.sanitizer.shared_request(region, nbytes, lane_id, "fetch",
+                                      self.env.now)
         self._maybe_fill(batch)
         self.env.process(self._serve_batch(batch, nbytes, locality),
                          name=f"mcast:{region}")
@@ -164,6 +172,8 @@ class MulticastManager:
         if self._batches.get(batch.region) is batch:
             del self._batches[batch.region]
         self.counters.add("mcast.bytes_delivered", nbytes * len(targets))
+        self.sanitizer.multicast_served(batch.region, nbytes, len(targets),
+                                        self.env.now)
         batch.done.succeed()
 
     def _try_allocate(self, lane_id: int, region: str, nbytes: int) -> bool:

@@ -72,7 +72,10 @@ class Task:
         #: Tasks that consume this task's output as a pipelined stream.
         self.stream_consumers: list[Task] = []
         #: Expansion depth (root = 0); used by the static baseline's phases.
-        self.depth = 0
+        #: A task must sit strictly below every task it depends on, or the
+        #: phase grouping would co-schedule a consumer with its producer.
+        self.depth = max((dep.depth + 1 for dep in after + stream_from),
+                         default=0)
         for producer in stream_from:
             producer.stream_consumers.append(self)
 
@@ -144,9 +147,9 @@ class TaskContext:
         """
         child = task_type.instantiate(args, after=after,
                                       stream_from=stream_from)
-        child.depth = self.task.depth + 1
-        for dep in list(after) + list(stream_from):
-            child.depth = max(child.depth, dep.depth + 1)
+        # Dependence depth is set at construction; a spawned child must
+        # additionally sit below its parent.
+        child.depth = max(child.depth, self.task.depth + 1)
         self.spawned.append(child)
         return child
 

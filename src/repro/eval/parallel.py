@@ -145,17 +145,24 @@ def run_suite_parallel(lanes: int = 8,
                        verify: bool = True,
                        timeout: Optional[float] = None,
                        cache: Optional[EvalCache] = None,
-                       delta_config: Optional[MachineConfig] = None) -> list:
+                       delta_config: Optional[MachineConfig] = None,
+                       sanitize: bool = False) -> list:
     """Parallel, cached equivalent of :func:`repro.eval.runner.run_suite`.
 
     Returns one :class:`Comparison` per workload, in input order,
     field-identical to the serial path. With a warm ``cache`` every point
-    is served from disk and no simulation runs at all.
+    is served from disk and no simulation runs at all. ``sanitize`` (or a
+    ``delta_config`` with ``sanitize`` set) runs both machines of every
+    point under the model sanitizer.
     """
     workloads = list(workloads) if workloads is not None else all_workloads()
     delta_config = delta_config or default_delta_config(lanes=lanes)
+    if sanitize and not delta_config.sanitize:
+        delta_config = delta_config.with_sanitize(True)
     static_config = default_baseline_config(lanes=delta_config.lanes,
                                             seed=delta_config.seed)
+    if delta_config.sanitize:
+        static_config = static_config.with_sanitize(True)
 
     results: list = [None] * len(workloads)
     pending: list[tuple[int, str, PointSpec]] = []

@@ -109,11 +109,18 @@ def compare(workload: Workload,
             delta_config: Optional[MachineConfig] = None,
             static_config: Optional[MachineConfig] = None,
             verify: bool = True) -> Comparison:
-    """Simulate one workload on Delta and on the static baseline."""
+    """Simulate one workload on Delta and on the static baseline.
+
+    A derived static config inherits ``delta_config.sanitize``, so one
+    flag runs the whole comparison under invariant checking.
+    """
     global _simulations
     delta_config = delta_config or default_delta_config()
-    static_config = static_config or default_baseline_config(
-        lanes=delta_config.lanes, seed=delta_config.seed)
+    if static_config is None:
+        static_config = default_baseline_config(
+            lanes=delta_config.lanes, seed=delta_config.seed)
+        if delta_config.sanitize:
+            static_config = static_config.with_sanitize(True)
 
     _simulations += 1
     delta_result = Delta(delta_config).run(workload.build_program())
@@ -130,13 +137,16 @@ def run_suite(lanes: int = 8,
               verify: bool = True,
               jobs: Optional[int] = None,
               timeout: Optional[float] = None,
-              cache: Optional["EvalCache"] = None) -> list[Comparison]:
+              cache: Optional["EvalCache"] = None,
+              sanitize: bool = False) -> list[Comparison]:
     """Compare every evaluation workload at the given lane count.
 
     ``jobs`` > 1 fans points out over worker processes (``jobs=None``
     honours the ``REPRO_JOBS`` environment variable, defaulting to the
     serial path); ``cache`` serves repeated points from disk. Both paths
     return field-identical results — see :mod:`repro.eval.parallel`.
+    ``sanitize`` runs every point under the model sanitizer (identical
+    results, plus invariant checking).
     """
     from repro.eval.parallel import resolve_jobs, run_suite_parallel
 
@@ -144,8 +154,10 @@ def run_suite(lanes: int = 8,
     if resolve_jobs(jobs) != 1 or cache is not None:
         return run_suite_parallel(lanes=lanes, workloads=workloads,
                                   jobs=jobs, verify=verify, timeout=timeout,
-                                  cache=cache)
+                                  cache=cache, sanitize=sanitize)
     delta_config = default_delta_config(lanes=lanes)
+    if sanitize:
+        delta_config = delta_config.with_sanitize(True)
     return [compare(w, delta_config, verify=verify) for w in workloads]
 
 

@@ -17,7 +17,7 @@ golden fingerprints to hold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.arch.config import MachineConfig
@@ -27,6 +27,11 @@ from repro.arch.mapper import Mapper
 from repro.arch.noc import Noc
 from repro.machine.metrics import MetricsBus
 from repro.sim import Environment
+from repro.sim.sanitize import (
+    NullSanitizer,
+    Sanitizer,
+    env_sanitize_requested,
+)
 from repro.sim.trace import NullTracer, Tracer
 
 
@@ -42,37 +47,50 @@ class Machine:
     mapper: Mapper
     lanes: list[Lane]
     tracer: Tracer
+    sanitizer: Sanitizer = field(default_factory=NullSanitizer)
 
     @classmethod
     def build(cls, config: MachineConfig, *,
               tracer: Optional[Tracer] = None,
-              multicast_enabled: Optional[bool] = None) -> "Machine":
+              multicast_enabled: Optional[bool] = None,
+              sanitizer: Optional[Sanitizer] = None) -> "Machine":
         """Compose a fresh machine from ``config``.
 
         ``multicast_enabled`` overrides ``config.noc.multicast`` — the
         static baseline models a NoC without multicast trees even when the
         shared config enables them (the datapath is identical; the *use*
         of the tree hardware is an execution-model property).
+
+        ``sanitizer`` overrides the default choice: a live
+        :class:`~repro.sim.sanitize.Sanitizer` when ``config.sanitize`` is
+        set or ``REPRO_SANITIZE`` is truthy, a disabled one otherwise.
         """
         tracer = tracer or NullTracer()
+        if sanitizer is None:
+            sanitize = config.sanitize or env_sanitize_requested()
+            sanitizer = Sanitizer() if sanitize else NullSanitizer()
         env = Environment()
+        if sanitizer.enabled:
+            env.clock_monitor = sanitizer.clock_advanced
         metrics = MetricsBus()
         if multicast_enabled is None:
             multicast_enabled = config.noc.multicast
         noc = Noc(env, metrics, config.lanes,
                   config.noc.link_bytes_per_cycle,
                   config.noc.hop_latency, config.noc.header_bytes,
-                  multicast_enabled=multicast_enabled)
+                  multicast_enabled=multicast_enabled,
+                  sanitizer=sanitizer)
         dram = Dram(env, metrics, config.dram.bytes_per_cycle,
                     config.dram.latency, config.dram.random_penalty)
         mapper = Mapper(config.lane.fabric, seed=config.seed)
         lanes = [
             Lane(env, metrics, i, config.lane, noc, dram, mapper,
-                 element_bytes=config.element_bytes)
+                 element_bytes=config.element_bytes, sanitizer=sanitizer)
             for i in range(config.lanes)
         ]
         return cls(config=config, env=env, metrics=metrics, noc=noc,
-                   dram=dram, mapper=mapper, lanes=lanes, tracer=tracer)
+                   dram=dram, mapper=mapper, lanes=lanes, tracer=tracer,
+                   sanitizer=sanitizer)
 
     @property
     def lane_busy(self) -> list[float]:

@@ -64,6 +64,9 @@ class RunSession:
         env.run(until=max_cycles)
         if not finished():
             detail = f" {stall_detail()}" if stall_detail is not None else ""
+            sanitizer = self.machine.sanitizer
+            if sanitizer.enabled:
+                detail += f"\n{sanitizer.pending_report()}"
             raise ExecutionStalled(
                 f"{self.machine_name} run of {self.program_name!r} did not "
                 f"finish: stalled at cycle {env.now:,.0f}{detail}")
@@ -76,8 +79,13 @@ class RunSession:
         ``cycles`` defaults to the completion time of the last retired
         task; barrier-structured models pass the final barrier time
         (``env.now``) instead.
+
+        With the sanitizer attached, its whole-run balance checks (task
+        conservation, work accounting, stream and multicast conservation)
+        run here, before the result is assembled.
         """
         machine = self.machine
+        machine.sanitizer.finish(machine.metrics, machine.lane_busy)
         return RunResult(
             machine=self.machine_name,
             program_name=self.program_name,

@@ -28,6 +28,12 @@ from repro.sim.engine import (
     DeadlockError,
 )
 from repro.sim.resources import Resource, Store, BandwidthServer
+from repro.sim.sanitize import (
+    ModelInvariantError,
+    NullSanitizer,
+    Sanitizer,
+    env_sanitize_requested,
+)
 from repro.sim.stats import Counters, UtilizationTracker
 from repro.sim.trace import Tracer, NullTracer, TraceEvent
 
@@ -47,4 +53,8 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "TraceEvent",
+    "Sanitizer",
+    "NullSanitizer",
+    "ModelInvariantError",
+    "env_sanitize_requested",
 ]

@@ -243,6 +243,11 @@ class Environment:
         self.strict = strict
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: Optional observer called as ``clock_monitor(prev, next)`` right
+        #: before the clock advances to a later time — the sanitizer's
+        #: cycle-monotonicity hook. None (the default) costs one comparison
+        #: per event.
+        self.clock_monitor: Optional[Callable[[float, float], None]] = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -334,6 +339,8 @@ class Environment:
                 self.now = until
                 return self.now
             heapq.heappop(self._heap)
+            if self.clock_monitor is not None and at != self.now:
+                self.clock_monitor(self.now, at)
             self.now = at
             event._process()
         return self.now

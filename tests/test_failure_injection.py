@@ -18,10 +18,12 @@ from repro.arch.config import (
 from repro.arch.mapper import MappingError
 from repro.baseline.static import StaticParallel
 from repro.core.delta import Delta, ExecutionStalled
+from repro.core.dispatcher import Dispatcher
 from repro.core.program import Program
 from repro.core.task import TaskType
 from repro.core.annotations import ReadSpec, WriteSpec
 from repro.arch.dfg import cholesky_update_dfg, dot_product_dfg
+from repro.sim.sanitize import ModelInvariantError
 from repro.workloads.synthetic import SharedReadTasks, UniformTasks
 
 
@@ -135,3 +137,94 @@ class TestProgramFaults:
         program = Program("neg", {}, [tt.instantiate()])
         with pytest.raises(ValueError, match="nbytes"):
             Delta(default_delta_config(lanes=1)).run(program)
+
+
+class TestSanitizerCatches:
+    """Each injected fault class surfaces as a *named* model invariant —
+    the sanitizer turns silent corruption into a precise diagnostic."""
+
+    def test_broken_kernel_duplicate_spawn_is_task_conservation(self):
+        """A kernel that hands the runtime the same child twice would
+        silently execute it twice; the sanitizer names the offender."""
+        child_type = TaskType(
+            name="child", dfg=dot_product_dfg("child"),
+            kernel=lambda ctx, args: None, trips=lambda args: 8)
+
+        def buggy_kernel(ctx, args):
+            child = ctx.spawn(child_type, {"i": 0})
+            ctx.spawned.append(child)  # the injected model bug
+
+        parent_type = TaskType(
+            name="parent", dfg=dot_product_dfg("parent"),
+            kernel=buggy_kernel, trips=lambda args: 8)
+        program = Program("dupspawn", {}, [parent_type.instantiate()])
+        with pytest.raises(ModelInvariantError) as excinfo:
+            Delta(default_delta_config(lanes=2).with_sanitize(True)
+                  ).run(program)
+        err = excinfo.value
+        assert err.invariant == "task-conservation"
+        assert "more than once" in str(err)
+        assert err.task is not None and "child" in err.task
+
+    def test_dangling_dependence_is_dependence_legality(self, monkeypatch):
+        """A dispatcher that drops its readiness waits lets a consumer
+        start mid-producer; the violation names both tasks."""
+
+        def eager_submit(self, task):
+            self._outstanding += 1
+            self.counters.add("dispatch.submitted")
+            self.sanitizer.task_submitted(task, self.env.now)
+            self._make_ready(task)  # bug: dependences ignored
+
+        monkeypatch.setattr(Dispatcher, "submit", eager_submit)
+        slow_type = TaskType(
+            name="producer", dfg=dot_product_dfg("producer"),
+            kernel=lambda ctx, args: None, trips=lambda args: 4096)
+        producer = slow_type.instantiate()
+        fast_type = TaskType(
+            name="consumer", dfg=dot_product_dfg("consumer"),
+            kernel=lambda ctx, args: None, trips=lambda args: 8)
+        consumer = fast_type.instantiate(after=[producer])
+        program = Program("dangling", {}, [producer, consumer])
+        with pytest.raises(ModelInvariantError) as excinfo:
+            Delta(default_delta_config(lanes=2).with_sanitize(True)
+                  ).run(program)
+        err = excinfo.value
+        assert err.invariant == "dependence-legality"
+        assert "producer" in str(err) and "consumer" in str(err)
+
+    def test_oversubscribed_sharing_set_is_multicast_consistency(self):
+        """A sharing oracle that under-counts a region's readers is a
+        recovered-structure bug: the requests overrun the declared set."""
+        workload = SharedReadTasks(num_tasks=6)
+        with pytest.raises(ModelInvariantError) as excinfo:
+            Delta(default_delta_config(lanes=2).with_sanitize(True)).run(
+                workload.build_program(), sharing_degrees={"table": 2})
+        err = excinfo.value
+        assert err.invariant == "multicast-consistency"
+        assert "table" in str(err) and "2 readers" in str(err)
+
+    def test_oversized_region_runs_clean_under_sanitizer(self):
+        """The too-large streaming path is legal behaviour, not a model
+        bug — the sanitizer must not flag it (no false positives)."""
+        import dataclasses
+
+        config = default_delta_config(lanes=2).with_sanitize(True)
+        config = dataclasses.replace(
+            config, lane=dataclasses.replace(config.lane,
+                                             spad_bytes=4096))
+        w = SharedReadTasks(num_tasks=6, region_bytes=64 * 1024, trips=64)
+        result = Delta(config).run(w.build_program())
+        w.check(result.state)
+        assert result.counters.get("mcast.too_large") > 0
+
+    def test_stall_diagnostics_include_sanitizer_report(self):
+        """A stalled sanitized run names how far each task got — the
+        conservation snapshot rides on the ExecutionStalled message."""
+        with pytest.raises(ExecutionStalled) as excinfo:
+            Delta(default_delta_config(lanes=2).with_sanitize(True)).run(
+                UniformTasks(num_tasks=8).build_program(), max_cycles=5)
+        message = str(excinfo.value)
+        assert "sanitizer:" in message
+        assert "submitted" in message and "completed" in message
+        assert "unfinished" in message

@@ -308,6 +308,26 @@ class TestLegacyViews:
         first = graph.tasks[0]
         assert graph.node(first.task_id) is first
 
+    def test_initial_tasks_with_deps_land_in_later_phases(self):
+        """Regression: an *initial* task carrying an explicit ``after``
+        or ``stream_from`` edge must sit strictly below its producer in
+        the phase grouping — otherwise the static baseline co-schedules a
+        consumer with the producer it waits on (a dependence-legality
+        violation the sanitizer catches)."""
+        tt = make_type()
+        a = tt.instantiate({"work": 8})
+        b = tt.instantiate({"work": 8}, after=[a])
+        c = tt.instantiate({"work": 8}, stream_from=[b])
+        assert (a.depth, b.depth, c.depth) == (0, 1, 2)
+        for expanded in (expand_program(program_of([a, b, c])),
+                         recover_structure(
+                             program_of([a, b, c])).as_expanded()):
+            phase_of = {t.task_id: i
+                        for i, phase in enumerate(expanded.phases)
+                        for t in phase}
+            assert phase_of[a.task_id] < phase_of[b.task_id]
+            assert phase_of[b.task_id] < phase_of[c.task_id]
+
 
 # ------------------------------------------------- sharing vs the machine
 

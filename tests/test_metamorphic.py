@@ -1,0 +1,123 @@
+"""Metamorphic tests: known input transformations, predictable outputs.
+
+Rather than pinning absolute numbers, these tests transform a workload in
+a way with a *provable* consequence in the model and assert the relation:
+
+- scaling every task's work by k scales total busy cycles affinely
+  (busy = sum of depth + II x trips over tasks, so it is linear in trips);
+- permuting which lane round-robin assigns tasks to relabels the lanes
+  but cannot change any aggregate (total busy, per-lane busy multiset,
+  task counts, DRAM traffic) — the mesh NoC makes lane *positions*
+  asymmetric, so wall-clock cycles are deliberately not asserted;
+- re-running the same seed is bit-identical, sanitizer on or off.
+
+All runs here go through the sanitizer, so every metamorphic execution is
+also an invariant-checked execution.
+"""
+
+import pytest
+
+from repro.arch.config import default_delta_config
+from repro.core.delta import Delta
+from repro.core.dispatcher import Dispatcher
+from repro.util.fingerprint import result_stats
+from repro.workloads.synthetic import SkewedTasks, UniformTasks
+
+
+def _run_uniform(trips, lanes=2):
+    config = default_delta_config(lanes=lanes).with_sanitize(True)
+    w = UniformTasks(num_tasks=8, trips=trips)
+    result = Delta(config).run(w.build_program())
+    w.check(result.state)
+    return result
+
+
+class TestWorkScaling:
+    def test_busy_cycles_affine_in_trips(self):
+        """Doubling trips adds a constant increment to total busy time:
+        busy(t) = 8*depth + 8*II*t, so equal trip deltas give equal busy
+        deltas regardless of the (unknown) mapping constants."""
+        busy = {t: sum(_run_uniform(t).lane_busy) for t in (64, 128, 256)}
+        first_delta = busy[128] - busy[64]
+        second_delta = busy[256] - busy[128]
+        assert first_delta > 0
+        assert second_delta == pytest.approx(2 * first_delta, rel=1e-9)
+
+    def test_busy_scales_with_task_count(self):
+        """k times as many identical tasks do exactly k times the work."""
+        config = default_delta_config(lanes=2).with_sanitize(True)
+
+        def total_busy(n):
+            w = UniformTasks(num_tasks=n, trips=128)
+            return sum(Delta(config).run(w.build_program()).lane_busy)
+
+        assert total_busy(16) == pytest.approx(2 * total_busy(8), rel=1e-9)
+
+
+class TestLanePermutation:
+    PERM = {0: 2, 1: 0, 2: 3, 3: 1}
+
+    def _run(self, monkeypatch_or_none):
+        config = default_delta_config(lanes=4).with_policy(
+            "round-robin").with_sanitize(True)
+        w = SkewedTasks(num_tasks=24)
+        result = Delta(config).run(w.build_program())
+        w.check(result.state)
+        return result
+
+    def test_aggregates_invariant_under_lane_relabeling(self, monkeypatch):
+        baseline = self._run(None)
+
+        original = Dispatcher._choose_naive
+        perm = self.PERM
+
+        def permuted_choice(self, task):
+            return perm[original(self, task)]
+
+        monkeypatch.setattr(Dispatcher, "_choose_naive", permuted_choice)
+        permuted = self._run(monkeypatch)
+
+        assert permuted.tasks_executed == baseline.tasks_executed
+        assert sum(permuted.lane_busy) == pytest.approx(
+            sum(baseline.lane_busy), rel=1e-9)
+        # The per-lane busy *multiset* survives relabeling even though
+        # which physical lane did which work changed.
+        assert sorted(permuted.lane_busy) == pytest.approx(
+            sorted(baseline.lane_busy), rel=1e-9)
+        assert permuted.dram_bytes == pytest.approx(
+            baseline.dram_bytes, rel=1e-9)
+        for counter in ("dispatch.submitted", "dispatch.dispatched",
+                        "dispatch.completed"):
+            assert permuted.counters.get(counter) == \
+                baseline.counters.get(counter)
+
+    def test_identity_permutation_is_bitwise_identical(self, monkeypatch):
+        baseline = self._run(None)
+        original = Dispatcher._choose_naive
+
+        def identity_choice(self, task):
+            return original(self, task)
+
+        monkeypatch.setattr(Dispatcher, "_choose_naive", identity_choice)
+        assert result_stats(self._run(monkeypatch)) == \
+            result_stats(baseline)
+
+
+class TestSanitizedDeterminism:
+    @pytest.mark.parametrize("name", ["micro-tree", "micro-skewed"])
+    def test_same_seed_bit_identical_under_sanitizer(self, name):
+        from repro.workloads import get_workload
+
+        config = default_delta_config(lanes=4).with_sanitize(True)
+        first = Delta(config).run(get_workload(name).build_program())
+        second = Delta(config).run(get_workload(name).build_program())
+        assert result_stats(first) == result_stats(second)
+
+    def test_sanitizer_does_not_perturb_dynamic_workload(self):
+        from repro.workloads import get_workload
+
+        w = get_workload("micro-tree")
+        plain = Delta(default_delta_config(lanes=4)).run(w.build_program())
+        sanitized = Delta(default_delta_config(lanes=4).with_sanitize(True)
+                          ).run(w.build_program())
+        assert result_stats(sanitized) == result_stats(plain)

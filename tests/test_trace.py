@@ -104,6 +104,78 @@ class TestDeltaTracing:
         assert overlaps, "chain stages should overlap when pipelined"
 
 
+class TestChromeTraceSchema:
+    """The exported JSON must be valid Chrome/Perfetto trace format."""
+
+    def _trace(self):
+        t = Tracer()
+        t.span("task", "a", "lane1", 0, 10, trips=64)
+        t.span("config", "c", "lane0", 2, 5)
+        t.instant("steal", "s", "lane1", 3)
+        return t
+
+    def test_span_events_are_complete_events(self):
+        doc = self._trace().to_chrome_trace()
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == 2
+        for event in spans:
+            assert set(event) >= {"name", "cat", "pid", "tid", "ts",
+                                  "dur", "args"}
+            assert event["pid"] == 0
+            assert isinstance(event["tid"], int)
+            assert event["dur"] >= 0 and event["ts"] >= 0
+
+    def test_instant_events_are_thread_scoped(self):
+        doc = self._trace().to_chrome_trace()
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+        assert "dur" not in instants[0]
+
+    def test_thread_name_metadata_maps_sorted_lanes(self):
+        doc = self._trace().to_chrome_trace()
+        metas = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+        assert all(e["name"] == "thread_name" for e in metas)
+        named = {e["tid"]: e["args"]["name"] for e in metas}
+        assert named == {0: "lane0", 1: "lane1"}  # sorted lane order
+
+    def test_span_meta_lands_in_args(self):
+        doc = self._trace().to_chrome_trace()
+        task = next(e for e in doc["traceEvents"] if e.get("cat") == "task")
+        assert task["args"] == {"trips": 64}
+
+    def test_display_time_unit_present(self):
+        doc = self._trace().to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._trace().write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == self._trace().to_chrome_trace()
+
+
+class TestDisabledTracer:
+    def test_null_tracer_exports_empty_document(self):
+        doc = NullTracer().to_chrome_trace()
+        assert doc["traceEvents"] == []
+        json.dumps(doc)
+
+    def test_null_tracer_queries_are_empty(self):
+        t = NullTracer()
+        t.span("task", "x", "lane0", 0, 5)
+        t.instant("i", "x", "lane0", 0)
+        assert t.lanes() == []
+        assert t.busy_time("lane0") == 0.0
+        assert t.summarize() == {}
+        assert not t.enabled
+
+    def test_disabled_tracer_still_validates_nothing(self):
+        # A disabled tracer must not even raise on a backwards span —
+        # the no-op contract means zero work on the hot path.
+        NullTracer().span("task", "x", "lane0", 10, 5)
+
+
 class TestStaticTracing:
     def test_phase_and_task_spans(self):
         result = StaticParallel(default_baseline_config(lanes=2)).run(
@@ -116,3 +188,23 @@ class TestStaticTracing:
             UniformTasks(num_tasks=4).build_program(), trace=True)
         for e in result.trace.by_kind("task"):
             assert 0 <= e.start <= e.end <= result.cycles
+
+
+class TestTracingWithSanitizer:
+    def test_trace_identical_under_sanitizer(self):
+        """The sanitizer observes the same events the tracer records but
+        must not perturb them: a traced, sanitized run produces exactly
+        the timeline of a traced, unsanitized one."""
+        w = UniformTasks(num_tasks=6)
+        plain = Delta(default_delta_config(lanes=2)).run(
+            w.build_program(), trace=True)
+        sanitized = Delta(default_delta_config(lanes=2).with_sanitize(True)
+                          ).run(w.build_program(), trace=True)
+
+        def flat(trace):
+            # Task names carry the process-global task id (uniform#101);
+            # strip it so two builds of the same program compare equal.
+            return [(e.kind, e.name.split("#")[0], e.lane, e.start, e.end,
+                     sorted(e.meta)) for e in trace.events]
+
+        assert flat(sanitized.trace) == flat(plain.trace)
