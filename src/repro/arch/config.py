@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.sim.faults import FaultPlan
 from repro.util.validate import (
     check_in_range,
     check_non_negative,
@@ -213,6 +214,11 @@ class MachineConfig:
     #: see :mod:`repro.sim.sanitize`). Purely observational: results are
     #: bit-identical with it on or off — it can only raise.
     sanitize: bool = False
+    #: Optional fault-injection plan (see :mod:`repro.sim.faults`). None
+    #: (or an empty plan) runs fault-free and bit-identical to a build
+    #: without the fault machinery; a non-empty plan arms the injector
+    #: and the runtimes' recovery policies.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         check_positive("machine.lanes", self.lanes)
@@ -241,6 +247,10 @@ class MachineConfig:
     def with_sanitize(self, sanitize: bool = True) -> "MachineConfig":
         """Copy with runtime invariant checking on (or off)."""
         return replace(self, sanitize=sanitize)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "MachineConfig":
+        """Copy with a fault-injection plan attached (or removed)."""
+        return replace(self, faults=faults)
 
 
 def default_delta_config(lanes: int = 8,

@@ -9,8 +9,11 @@ a FIFO server, so cross-lane bandwidth contention is emergent.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.sim import BandwidthServer, Counters, Environment, Event
 from repro.sim.engine import SimulationError
+from repro.sim.faults import NULL_INJECTOR, FaultInjector
 
 
 class Dram:
@@ -18,12 +21,14 @@ class Dram:
 
     def __init__(self, env: Environment, counters: Counters,
                  bytes_per_cycle: float, latency: float,
-                 random_penalty: float) -> None:
+                 random_penalty: float,
+                 injector: Optional[FaultInjector] = None) -> None:
         if random_penalty < 1.0:
             raise SimulationError(
                 f"random_penalty must be >= 1, got {random_penalty}")
         self.env = env
         self.counters = counters
+        self.injector = injector or NULL_INJECTOR
         self.channel = BandwidthServer(env, bytes_per_cycle, latency,
                                        name="dram")
         self.random_penalty = random_penalty
@@ -46,7 +51,25 @@ class Dram:
         self.counters.add(f"dram.{kind}_bytes", nbytes)
         self.counters.add(f"dram.{kind}_effective_bytes", effective)
         self.counters.add("dram.requests")
-        return self.channel.transfer(effective)
+        served = self.channel.transfer(effective)
+        if self.injector.enabled:
+            spike = self.injector.dram_spike(self.env.now)
+            if spike > 0.0:
+                return self._spiked(served, spike)
+        return served
+
+    def _spiked(self, served: Event, spike: float) -> Event:
+        """Delay one response by a spike; the requester simply waits —
+        the watchdog bound lives in the injector (``dram-timeout``)."""
+        self.counters.add("faults.injected")
+        self.counters.add("faults.dram_spikes")
+        self.counters.add("faults.dram_spike_cycles", spike)
+        self.counters.add("recovery.absorbed_spike_cycles", spike)
+        done = self.env.event(name="dram-spike")
+        served.add_callback(
+            lambda _ev: self.env.timeout(spike).add_callback(
+                lambda _t: done.succeed()))
+        return done
 
     @property
     def total_bytes(self) -> float:

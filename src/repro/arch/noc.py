@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 from repro.sim import BandwidthServer, Counters, Environment, Event
 from repro.sim.engine import SimulationError
+from repro.sim.faults import NULL_INJECTOR, FaultInjector
 from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 
 Coord = tuple[int, int]
@@ -37,12 +38,14 @@ class Noc:
     def __init__(self, env: Environment, counters: Counters, lanes: int,
                  link_bytes_per_cycle: float, hop_latency: float,
                  header_bytes: int, multicast_enabled: bool,
-                 sanitizer: Optional[Sanitizer] = None) -> None:
+                 sanitizer: Optional[Sanitizer] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         if lanes < 1:
             raise SimulationError("NoC needs at least one lane")
         self.env = env
         self.counters = counters
         self.sanitizer = sanitizer or NULL_SANITIZER
+        self.injector = injector or NULL_INJECTOR
         self.hop_latency = hop_latency
         self.header_bytes = header_bytes
         self.multicast_enabled = multicast_enabled
@@ -130,12 +133,13 @@ class Noc:
                     tree_links.append(link)
         payload = nbytes + self.header_bytes
         events = []
-        for link in tree_links:
-            self.counters.add("noc.bytes", payload)
-            self.counters.add("noc.multicast_link_bytes", payload)
-            events.append(self._links[link].transfer(payload))
-        self.counters.add("noc.multicasts")
-        self.sanitizer.noc_message("multicast", payload, self.env.now)
+        for _ in range(1 + self._drops("multicast")):
+            for link in tree_links:
+                self.counters.add("noc.bytes", payload)
+                self.counters.add("noc.multicast_link_bytes", payload)
+                events.append(self._links[link].transfer(payload))
+            self.counters.add("noc.multicasts")
+            self.sanitizer.noc_message("multicast", payload, self.env.now)
         done = self.env.event(name="multicast-delivery")
         tail = self.env.all_of(events)
 
@@ -147,17 +151,35 @@ class Noc:
         tail.add_callback(after)
         return done
 
+    def _drops(self, kind: str) -> int:
+        """Link-level packet loss: how many times the next message is
+        dropped (0 on the fault-free path).  Every drop costs a full
+        retransmission — links are re-charged, counters and the sanitizer
+        see each send — and the loss burst is bounded by the plan's retry
+        budget (:class:`~repro.sim.faults.UnrecoverableFault` beyond it).
+        """
+        if not self.injector.enabled:
+            return 0
+        drops = self.injector.noc_drops(kind, self.env.now)
+        if drops:
+            self.counters.add("faults.injected", drops)
+            self.counters.add("faults.noc_dropped", drops)
+            self.counters.add("recovery.noc_retransmits", drops)
+            self.sanitizer.noc_retransmit(kind, drops, self.env.now)
+        return drops
+
     def _send_along(self, path: list[Coord], nbytes: float) -> Event:
         payload = nbytes + self.header_bytes
         hops = len(path) - 1
         if hops == 0:
             return self.env.timeout(0)
         events = []
-        for link in zip(path, path[1:]):
-            self.counters.add("noc.bytes", payload)
-            events.append(self._links[link].transfer(payload))
-        self.counters.add("noc.messages")
-        self.sanitizer.noc_message("unicast", payload, self.env.now)
+        for _ in range(1 + self._drops("unicast")):
+            for link in zip(path, path[1:]):
+                self.counters.add("noc.bytes", payload)
+                events.append(self._links[link].transfer(payload))
+            self.counters.add("noc.messages")
+            self.sanitizer.noc_message("unicast", payload, self.env.now)
         done = self.env.event(name="unicast-delivery")
         tail = self.env.all_of(events)
 

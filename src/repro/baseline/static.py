@@ -31,6 +31,7 @@ from repro.core.task import Task
 from repro.graph.ir import TaskGraph, recover_structure
 from repro.machine import Machine, RunResult, RunSession
 from repro.sim import Store
+from repro.sim.faults import UnrecoverableFault
 from repro.sim.trace import NullTracer, Tracer
 
 
@@ -70,9 +71,14 @@ class _StaticRun:
         self.metrics = machine.metrics
         self.lanes = machine.lanes
         self.sanitizer = machine.sanitizer
+        self.injector = machine.injector
         self.session = RunSession(machine, "static",
                                   graph.program.name,
                                   graph.program.state)
+        #: Tasks stranded on a failed lane, awaiting the repair pass.
+        self._orphans: list[Task] = []
+        self._lost_lanes: set[int] = set()
+        self._finish_cycle = 0.0
 
     def run(self, max_cycles: Optional[float]) -> RunResult:
         """Run the phase schedule to completion and collect results."""
@@ -89,7 +95,10 @@ class _StaticRun:
             stall_detail=lambda: (
                 f"with {len(self.graph.tasks) - self.session.tasks_executed}"
                 f" of {len(self.graph.tasks)} tasks unfinished"))
-        return self.session.result(cycles=self.env.now)
+        # The schedule's end time, not ``env.now``: a pending fault timer
+        # (e.g. a lane failure scheduled past the program's end) may drain
+        # after the last barrier and must not inflate the cycle count.
+        return self.session.result(cycles=self._finish_cycle)
 
     def _main(self) -> Generator:
         split = (partition_block if self.partition == "block"
@@ -108,16 +117,74 @@ class _StaticRun:
             phase_start = self.env.now
             yield self.env.all_of(workers)
             self.metrics.static.add("barriers")
+            if self.injector.enabled:
+                yield from self._repair_phase(phase_index)
             self.tracer.span("phase", f"phase{phase_index}", "machine",
                              phase_start, self.env.now,
                              tasks=len(phase))
+        self._finish_cycle = self.env.now
 
     def _lane_phase(self, lane: Lane, tasks: list[Task]) -> Generator:
-        for task in tasks:
+        for index, task in enumerate(tasks):
+            if (self.injector.enabled
+                    and self.injector.lane_failed_by(lane.lane_id,
+                                                     self.env.now)):
+                # Fail-stop at a task boundary (quiesce): the rest of this
+                # lane's partition is stranded until the repair pass.
+                self._mark_lane_lost(lane.lane_id)
+                for orphan in tasks[index:]:
+                    self.sanitizer.task_requeued(orphan, lane.lane_id,
+                                                 self.env.now)
+                    self.metrics.recovery.add("redispatched")
+                self._orphans.extend(tasks[index:])
+                return
             task.lane_id = lane.lane_id
             self.sanitizer.task_dispatched(task, lane.lane_id,
                                            self.env.now, counted=False)
             yield from self._execute(lane, task)
+
+    def _mark_lane_lost(self, lane_id: int) -> None:
+        if lane_id in self._lost_lanes:
+            return
+        self._lost_lanes.add(lane_id)
+        self.metrics.faults.add("injected")
+        self.metrics.faults.add("lane_failstop")
+        self.metrics.recovery.add("lanes_lost")
+        self.sanitizer.lane_failed(lane_id, self.env.now)
+
+    def _repair_phase(self, phase_index: int) -> Generator:
+        """Software recovery pass — the barrier cliff.
+
+        The static schedule cannot re-balance: a surviving lane serially
+        re-runs every orphaned task while the rest of the machine idles at
+        the barrier, paying a per-task software re-partitioning backoff on
+        top. (Contrast the dispatcher's :meth:`fail_lane`, which folds a
+        dead lane's backlog into normal work-aware placement.)"""
+        backoff = self.injector.plan.retry.backoff_cycles
+        while self._orphans:
+            orphans, self._orphans = self._orphans, []
+            repair = self._repair_lane()
+            if repair is None:
+                raise UnrecoverableFault(
+                    "lane-fail-stop",
+                    f"no surviving lane to re-run {len(orphans)} orphaned "
+                    f"tasks of phase {phase_index}",
+                    task=orphans[0].name, cycle=self.env.now)
+            cost = backoff * len(orphans)
+            if cost:
+                self.metrics.recovery.add("recovery_cycles", cost)
+                yield self.env.timeout(cost)
+            yield self.env.process(
+                self._lane_phase(repair, orphans),
+                name=f"repair:{repair.name}:p{phase_index}")
+
+    def _repair_lane(self) -> Optional[Lane]:
+        """The first lane still alive right now, or None."""
+        for lane in self.lanes:
+            if not self.injector.lane_failed_by(lane.lane_id,
+                                                self.env.now):
+                return lane
+        return None
 
     def _execute(self, lane: Lane, task: Task) -> Generator:
         t_begin = self.env.now
@@ -126,6 +193,9 @@ class _StaticRun:
                                     pipelining=False)
         mapping = yield from lane.configure(task.type.dfg)
         self.metrics.tasks.add(task.type.name)
+
+        if self.injector.enabled:
+            yield from self._ride_out_task_faults(lane, task, mapping)
 
         procs = []
         in_streams: list[tuple[Store, int]] = []
@@ -177,6 +247,28 @@ class _StaticRun:
         self.sanitizer.task_completed(task, lane.lane_id, self.env.now,
                                       counted=False)
         self.sanitizer.lane_released(lane.lane_id, task, self.env.now)
+
+    def _ride_out_task_faults(self, lane: Lane, task: Task,
+                              mapping) -> Generator:
+        """Transient-fault window (same policy as Delta's): dead attempts
+        waste a fraction of the nominal compute time plus backoff as idle
+        lane time; only the final successful pass drives the fabric."""
+        nominal = (0.0 if task.trips <= 0
+                   else float(mapping.depth + mapping.ii * task.trips))
+        attempt = 1
+        while True:
+            wasted = self.injector.task_fault_delay(
+                task.name, lane.lane_id, attempt, nominal, self.env.now)
+            if wasted is None:
+                return
+            self.metrics.faults.add("injected")
+            self.metrics.faults.add("task_transient")
+            self.sanitizer.task_retried(task, lane.lane_id, attempt,
+                                        self.env.now)
+            self.metrics.recovery.add("retries")
+            self.metrics.recovery.add("recovery_cycles", wasted)
+            yield self.env.timeout(wasted)
+            attempt += 1
 
     def _drain(self, store: Store) -> Generator:
         while True:

@@ -65,6 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sanitize", action="store_true",
                        help="run with the model sanitizer (runtime "
                             "invariant checking; identical results)")
+        p.add_argument("--faults", metavar="FILE",
+                       help="inject faults from a FaultPlan JSON file "
+                            "(see docs/faults.md)")
         p.add_argument("--seed", type=int, default=0)
 
     p_run = sub.add_parser("run", help="simulate a workload on Delta")
@@ -89,6 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "$REPRO_JOBS)")
     p_suite.add_argument("--sanitize", action="store_true",
                          help="run every point with the model sanitizer")
+    p_suite.add_argument("--faults", metavar="FILE",
+                         help="inject faults from a FaultPlan JSON file "
+                              "into every point (both machines)")
 
     p_eval = sub.add_parser(
         "eval", help="evaluation suite via the parallel, cached harness")
@@ -111,10 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "$REPRO_CACHE_DIR)")
     p_eval.add_argument("--sanitize", action="store_true",
                         help="run every point with the model sanitizer")
+    p_eval.add_argument("--faults", metavar="FILE",
+                        help="inject faults from a FaultPlan JSON file "
+                             "into every point (both machines)")
 
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("experiment_id",
-                       help="T1, T2, T3, F1..F10 or A1 "
+                       help="T1, T2, T3, F1..F10, A1 or R1 "
                             "(case-insensitive)")
 
     p_show = sub.add_parser("show", help="render a workload's structure")
@@ -128,6 +137,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="lane count for the --what graph speedup "
                              "bound (default 8)")
     return parser
+
+
+def _fault_plan(args):
+    """Load the ``--faults`` plan, or None when the flag was not given."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.sim.faults import FaultPlan
+
+    return FaultPlan.load(args.faults)
 
 
 def _features(args) -> FeatureFlags:
@@ -154,17 +172,22 @@ def _cmd_list() -> int:
 def _cmd_run(args) -> int:
     workload = get_workload(args.workload)
     program = workload.build_program()
+    plan = _fault_plan(args)
     if args.machine == "delta":
         config = default_delta_config(lanes=args.lanes, seed=args.seed,
                                       features=_features(args))
         config = config.with_policy(args.policy)
         if args.sanitize:
             config = config.with_sanitize(True)
+        if plan is not None:
+            config = config.with_faults(plan)
         result = Delta(config).run(program, trace=bool(args.trace))
     else:
         config = default_baseline_config(lanes=args.lanes, seed=args.seed)
         if args.sanitize:
             config = config.with_sanitize(True)
+        if plan is not None:
+            config = config.with_faults(plan)
         result = StaticParallel(config).run(program,
                                             trace=bool(args.trace))
     workload.check(result.state)
@@ -187,6 +210,9 @@ def _cmd_compare(args) -> int:
     delta_cfg = delta_cfg.with_policy(args.policy)
     if args.sanitize:
         delta_cfg = delta_cfg.with_sanitize(True)
+    plan = _fault_plan(args)
+    if plan is not None:
+        delta_cfg = delta_cfg.with_faults(plan)
     comparison = run_compare(workload, delta_cfg)
     attach_structure([comparison], workloads=[workload])
     print(comparison.delta.summary())
@@ -203,7 +229,8 @@ def _cmd_compare(args) -> int:
 
 def _cmd_suite(args) -> int:
     comparisons = run_suite(lanes=args.lanes, jobs=args.jobs,
-                            sanitize=args.sanitize)
+                            sanitize=args.sanitize,
+                            faults=_fault_plan(args))
     rows = [c.row() for c in comparisons]
     print(format_table(
         ["workload", "delta cyc", "static cyc", "speedup",
@@ -240,9 +267,12 @@ def _cmd_eval(args) -> int:
     jobs = args.jobs if args.jobs else default_jobs()
     sims_before = simulation_count()
     started = time.perf_counter()
+    outcomes: list[str] = []
     comparisons = run_suite_parallel(lanes=args.lanes, workloads=workloads,
                                      jobs=jobs, timeout=args.timeout,
-                                     cache=cache, sanitize=args.sanitize)
+                                     cache=cache, sanitize=args.sanitize,
+                                     faults=_fault_plan(args),
+                                     outcomes=outcomes)
     attach_structure(comparisons, workloads=workloads,
                      cache=structure_cache)
     elapsed = time.perf_counter() - started
@@ -257,6 +287,11 @@ def _cmd_eval(args) -> int:
     local_sims = simulation_count() - sims_before
     print(f"wall-clock {elapsed:.2f}s, {len(comparisons)} points, "
           f"{local_sims} simulated in this process")
+    slow = [c.workload for c, o in zip(comparisons, outcomes)
+            if o == "recovered-after-timeout"]
+    if slow:
+        print(f"recovered after timeout ({args.timeout:g}s): "
+              + ", ".join(slow))
     if cache is not None:
         print(cache.stats())
     if structure_cache is not None:
@@ -308,11 +343,42 @@ def _cmd_show(args) -> int:
     return 0
 
 
+#: Structured failure modes → distinct exit codes, so scripts and CI can
+#: tell a hung run (3) from a malformed program (4) from a model-invariant
+#: violation (5) from exhausted fault recovery (6). User errors stay 2.
+_DIAGNOSTIC_LINES = 30
+
+
+def _structured_exit_codes() -> list[tuple[type, int]]:
+    from repro.graph.ir import GraphValidationError
+    from repro.machine.session import ExecutionStalled
+    from repro.sim.faults import UnrecoverableFault
+    from repro.sim.sanitize import ModelInvariantError
+
+    return [(ExecutionStalled, 3), (GraphValidationError, 4),
+            (ModelInvariantError, 5), (UnrecoverableFault, 6)]
+
+
+def _print_diagnostic(command: str, exc: Exception) -> None:
+    """One-screen diagnostic: the exception type plus its message, capped
+    so a pathological report cannot flood the terminal."""
+    text = f"repro {command}: {type(exc).__name__}: {exc}"
+    lines = text.splitlines()
+    if len(lines) > _DIAGNOSTIC_LINES:
+        dropped = len(lines) - _DIAGNOSTIC_LINES
+        lines = lines[:_DIAGNOSTIC_LINES] + [f"... ({dropped} more lines)"]
+    print("\n".join(lines), file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    User errors (unknown workload, invalid configuration) print one clean
-    line and return exit code 2; only internal errors raise.
+    User errors (unknown workload, invalid configuration, an unreadable
+    fault plan) print one clean line and return exit code 2. Structured
+    simulation failures get a one-screen diagnostic and a distinct code:
+    :class:`ExecutionStalled` → 3, :class:`GraphValidationError` → 4,
+    :class:`ModelInvariantError` → 5, :class:`UnrecoverableFault` → 6.
+    Only genuinely internal errors raise a traceback.
     """
     from repro.util.validate import ConfigError
 
@@ -327,11 +393,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "show": _cmd_show,
     }
     handler = commands[args.command]
+    structured = _structured_exit_codes()
     try:
         if args.command == "list":
             return handler()
         return handler(args)
-    except (KeyError, ConfigError, ValueError) as exc:
-        message = exc.args[0] if exc.args else str(exc)
+    # GraphValidationError subclasses ValueError: check structured kinds
+    # before the generic user-error net.
+    except tuple(kind for kind, _code in structured) as exc:
+        _print_diagnostic(args.command, exc)
+        for kind, code in structured:
+            if isinstance(exc, kind):
+                return code
+        raise AssertionError("unreachable")  # pragma: no cover
+    except (KeyError, ConfigError, ValueError, OSError) as exc:
+        # OSError.args[0] is the errno; str() gives the readable form.
+        if isinstance(exc, OSError):
+            message = str(exc)
+        else:
+            message = exc.args[0] if exc.args else str(exc)
         print(f"repro {args.command}: error: {message}", file=sys.stderr)
         return 2

@@ -41,6 +41,7 @@ from repro.core.program import Program
 from repro.core.task import Task, run_kernel
 from repro.machine import ExecutionStalled, Machine, RunResult, RunSession
 from repro.sim import Store
+from repro.sim.faults import LaneFailure, UnrecoverableFault
 from repro.sim.trace import NullTracer, Tracer
 from repro.util.rng import DeterministicRng
 
@@ -108,6 +109,7 @@ class _DeltaRun:
 
         self.sanitizer = machine.sanitizer
         self.sanitizer.set_sharing_degrees(sharing_degrees)
+        self.injector = machine.injector
         self.dispatcher = Dispatcher(
             self.env, self.metrics, self.config.dispatch, self.config.lanes,
             self.features, self.rng.fork("dispatch"),
@@ -116,7 +118,7 @@ class _DeltaRun:
             self.env, self.metrics, self.noc, self.dram, self.lanes,
             window_cycles=self.config.effective_mcast_window(),
             expected_degrees=sharing_degrees,
-            sanitizer=self.sanitizer)
+            sanitizer=self.sanitizer, injector=self.injector)
         self.dispatcher.affinity_window = float(
             self.config.lane.config_cycles)
         self.session = RunSession(machine, "delta", program.name,
@@ -128,6 +130,10 @@ class _DeltaRun:
 
         for lane in self.lanes:
             self.env.process(self._worker(lane), name=f"worker:{lane.name}")
+        if self.injector.enabled:
+            for failure in self.injector.plan.lane_failures:
+                self.env.process(self._lane_failure(failure),
+                                 name=f"fault:lane{failure.lane}")
 
     # -- top level -------------------------------------------------------------
 
@@ -140,7 +146,8 @@ class _DeltaRun:
             finished=lambda: self.dispatcher.drained.triggered,
             stall_detail=lambda: (
                 f"with {self.dispatcher.outstanding} tasks outstanding "
-                f"(queues: {[q.level for q in self.dispatcher.queues]})"))
+                f"(queues: {[q.level for q in self.dispatcher.queues]})\n"
+                f"dispatcher: {self.dispatcher.queue_snapshot()}"))
         return self.session.result()
 
     # -- lane worker -------------------------------------------------------------
@@ -159,6 +166,13 @@ class _DeltaRun:
                         yield self.env.timeout(16)
                     continue
             task = yield queue.get()
+            if self.injector.enabled \
+                    and self.dispatcher.is_dead(lane.lane_id):
+                # The dispatch raced the fail-stop: the task landed on
+                # this queue in the same window the lane died. Hand it
+                # back for re-dispatch and go dark.
+                self.dispatcher.requeue(task)
+                return
             self.dispatcher.kick()  # queue slot freed
             if self.features.prefetch:
                 self._maybe_prefetch(lane, queue)
@@ -235,6 +249,9 @@ class _DeltaRun:
         for child in spawned:
             self.dispatcher.submit(child)
 
+        if self.injector.enabled:
+            yield from self._ride_out_task_faults(lane, task, mapping)
+
         procs = []
         in_streams: list[tuple[Store, int]] = []
         chunks_of = lane.streams.chunk_count
@@ -294,7 +311,7 @@ class _DeltaRun:
                 store = Store(self.env, capacity=8,
                               name=f"{task.name}.pipe")
                 procs.append(self.env.process(
-                    self._pull(lane, channel, store),
+                    self._pull(lane, channel, store, task),
                     name=f"pull:{task.name}"))
                 in_streams.append((store, chunks_of(producer.write_bytes)))
             else:
@@ -417,7 +434,7 @@ class _DeltaRun:
             channel.store.close()
 
     def _pull(self, lane: Lane, channel: _Channel,
-              in_store: Store) -> Generator:
+              in_store: Store, task: Optional[Task] = None) -> Generator:
         """Consumer side of a pipelined stream: chunks hop lane-to-lane."""
         pulled = 0.0
         while True:
@@ -429,6 +446,9 @@ class _DeltaRun:
             src = channel.src_lane
             if src is not None and src != lane.name:
                 yield self.noc.unicast(src, lane.name, size)
+                if self.injector.enabled:
+                    yield from self._replay_chunk(lane, channel, task,
+                                                  src, size)
             yield lane.spad.access(size, is_write=True)
             yield in_store.put(size)
             pulled += size
@@ -448,3 +468,73 @@ class _DeltaRun:
             token = yield store.get()
             if token is Store.END:
                 return
+
+    # -- fault recovery ------------------------------------------------------------
+
+    def _lane_failure(self, failure: LaneFailure) -> Generator:
+        """Scheduled lane fail-stop: quiesce the lane at its cycle and let
+        the work-aware dispatcher re-balance the backlog onto survivors."""
+        yield self.env.timeout(failure.cycle)
+        if (self.dispatcher.drained.triggered
+                or self.dispatcher.is_dead(failure.lane)):
+            return
+        self.metrics.faults.add("injected")
+        self.metrics.faults.add("lane_failstop")
+        rescued = self.dispatcher.fail_lane(failure.lane)
+        self.metrics.recovery.add("lanes_lost")
+        self.tracer.instant("lane-failure", f"lane{failure.lane}",
+                            f"lane{failure.lane}", self.env.now,
+                            rescued=rescued)
+
+    def _ride_out_task_faults(self, lane: Lane, task: Task,
+                              mapping) -> Generator:
+        """Transient-fault window: each execution attempt may die mid-
+        flight.  A dead attempt wastes a drawn fraction of the task's
+        nominal compute time plus the policy backoff — as *idle* lane
+        time, since only the final successful pass drives the fabric (the
+        work-accounting invariant holds without exemptions).  The kernel's
+        functional effects stand from the first pass; re-execution is a
+        timing event, so degraded runs stay functionally correct.
+        """
+        nominal = (0.0 if task.trips <= 0
+                   else float(mapping.depth + mapping.ii * task.trips))
+        attempt = 1
+        while True:
+            wasted = self.injector.task_fault_delay(
+                task.name, lane.lane_id, attempt, nominal, self.env.now)
+            if wasted is None:
+                return
+            self.metrics.faults.add("injected")
+            self.metrics.faults.add("task_transient")
+            self.sanitizer.task_retried(task, lane.lane_id, attempt,
+                                        self.env.now)
+            self.metrics.recovery.add("retries")
+            self.metrics.recovery.add("recovery_cycles", wasted)
+            yield self.env.timeout(wasted)
+            attempt += 1
+
+    def _replay_chunk(self, lane: Lane, channel: _Channel,
+                      task: Optional[Task], src: str,
+                      size: float) -> Generator:
+        """Stream replay: a corrupt chunk is NACKed and resent from the
+        producer's last acknowledged chunk (retained at the source until
+        the consumer acks), bounded by the plan's retry budget."""
+        replays = 0
+        policy = self.injector.plan.retry
+        while self.injector.stream_corrupt():
+            replays += 1
+            self.metrics.faults.add("injected")
+            self.metrics.faults.add("stream_corrupt")
+            if replays >= policy.max_attempts:
+                raise UnrecoverableFault(
+                    "stream-replay-exhausted",
+                    f"stream chunk from {src} still corrupt after "
+                    f"{replays} replays",
+                    task=task.name if task is not None else None,
+                    lane=lane.lane_id, cycle=self.env.now)
+            self.sanitizer.stream_replayed(*channel.key, size,
+                                           self.env.now)
+            self.metrics.recovery.add("replayed_chunks")
+            self.metrics.recovery.add("replayed_bytes", size)
+            yield self.env.timeout(policy.backoff_cycles)
+            yield self.noc.unicast(src, lane.name, size)

@@ -24,6 +24,7 @@ from typing import Optional
 from repro.arch.config import DispatchConfig, FeatureFlags
 from repro.core.task import Task
 from repro.sim import Counters, Environment, Event, Store
+from repro.sim.faults import UnrecoverableFault
 from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 from repro.util.rng import DeterministicRng
 
@@ -51,6 +52,10 @@ class Dispatcher:
         self.pending_work: list[float] = [0.0] * lanes
         #: Count of queued tasks per lane (for steal/round-robin stats).
         self.pending_count: list[int] = [0] * lanes
+        #: Lanes that fail-stopped (fault injection); never dispatched to
+        #: again. Always present so membership checks stay cheap; empty on
+        #: every fault-free run.
+        self.dead_lanes: set[int] = set()
 
         #: Last DFG signature dispatched to each lane — the configuration
         #: the lane will hold when it reaches this point of its queue. Used
@@ -233,8 +238,10 @@ class Dispatcher:
     def _candidates(self, task: Task) -> list[int]:
         avoid = {p.lane_id for p in task.stream_from
                  if p.lane_id is not None and not p.completed}
-        candidates = [i for i in range(self.num_lanes) if i not in avoid]
-        return candidates or list(range(self.num_lanes))
+        alive = [i for i in range(self.num_lanes)
+                 if i not in self.dead_lanes]
+        candidates = [i for i in alive if i not in avoid]
+        return candidates or alive or list(range(self.num_lanes))
 
     def _choose_naive(self, task: Task) -> int:
         candidates = self._candidates(task)
@@ -282,6 +289,69 @@ class Dispatcher:
         if self._outstanding == 0 and not self._drained.triggered:
             self._drained.succeed()
         self.kick()
+
+    # -- fault recovery ----------------------------------------------------------
+
+    def is_dead(self, lane_id: int) -> bool:
+        """Whether ``lane_id`` has fail-stopped."""
+        return lane_id in self.dead_lanes
+
+    def fail_lane(self, lane_id: int) -> int:
+        """Lane fail-stop: quiesce and write off ``lane_id``.
+
+        The lane's in-flight task (if any) drains normally — its results
+        are already streaming — but the backlog on its queue is rescued
+        and re-dispatched onto surviving lanes by the normal work-aware
+        policy (:meth:`_candidates` excludes dead lanes from here on).
+        Returns the number of rescued tasks; raises
+        :class:`~repro.sim.faults.UnrecoverableFault` when no lane
+        survives to take the work.
+        """
+        if lane_id in self.dead_lanes:
+            return 0
+        self.dead_lanes.add(lane_id)
+        self.sanitizer.lane_failed(lane_id, self.env.now)
+        if len(self.dead_lanes) >= self.num_lanes:
+            raise UnrecoverableFault(
+                "lane-fail-stop",
+                f"lane {lane_id} failed and no lane survives to absorb "
+                f"its work", lane=lane_id, cycle=self.env.now)
+        queue = self.queues[lane_id]
+        rescued: list[Task] = []
+        while queue.level:
+            rescued.append(queue.pop_newest())
+        for task in reversed(rescued):  # preserve the queue's FIFO order
+            self.requeue(task)
+        self.kick()
+        return len(rescued)
+
+    def requeue(self, task: Task) -> None:
+        """Return a dispatched-but-unstarted task to the ready pool.
+
+        Undoes the placement bookkeeping so the next dispatch is the
+        task's single live placement (the sanitizer's conservation rules
+        track the requeue rather than exempting it).
+        """
+        lane = task.lane_id
+        if lane is not None:
+            self.pending_work[lane] -= task.work + self.config.work_overhead
+            self.pending_count[lane] -= 1
+        self.sanitizer.task_requeued(task, lane, self.env.now)
+        self.counters.add("recovery.redispatched")
+        task.lane_id = None
+        self._pool.append(task)
+        self.kick()
+
+    def queue_snapshot(self) -> str:
+        """One-line per-lane dispatcher state for stall diagnostics."""
+        parts = []
+        for i, queue in enumerate(self.queues):
+            state = "dead" if i in self.dead_lanes \
+                else f"{queue.level} queued"
+            parts.append(f"lane{i}: {state}, "
+                         f"{self.pending_count[i]} pending, "
+                         f"work {self.pending_work[i]:,.0f}")
+        return "; ".join(parts)
 
     # -- stealing ----------------------------------------------------------------
 

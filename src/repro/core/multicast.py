@@ -35,6 +35,7 @@ from repro.arch.lane import Lane
 from repro.arch.noc import MEM_NODE, Noc
 from repro.arch.spad import CapacityError
 from repro.sim import Counters, Environment
+from repro.sim.faults import NULL_INJECTOR, FaultInjector
 from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
 
 
@@ -57,10 +58,12 @@ class MulticastManager:
                  dram: Dram, lanes: list[Lane],
                  window_cycles: int = 16,
                  expected_degrees: Optional[Mapping[str, int]] = None,
-                 sanitizer: Optional[Sanitizer] = None) -> None:
+                 sanitizer: Optional[Sanitizer] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.env = env
         self.counters = counters
         self.sanitizer = sanitizer or NULL_SANITIZER
+        self.injector = injector or NULL_INJECTOR
         self.noc = noc
         self.dram = dram
         self.lanes = lanes
@@ -164,6 +167,9 @@ class MulticastManager:
         yield self.dram.fetch(nbytes, locality)
         yield self.noc.multicast(MEM_NODE, [f"lane{i}" for i in targets],
                                  nbytes)
+        if self.injector.enabled:
+            yield from self._refetch_dropped(batch, nbytes, locality,
+                                             targets)
         landed = []
         for lane_id in targets:
             if self._try_allocate(lane_id, batch.region, nbytes):
@@ -175,6 +181,26 @@ class MulticastManager:
         self.sanitizer.multicast_served(batch.region, nbytes, len(targets),
                                         self.env.now)
         batch.done.succeed()
+
+    def _refetch_dropped(self, batch: _Batch, nbytes: int,
+                         locality: float, targets: list[int]) -> Generator:
+        """Sharing-set-driven refetch: the batch's lane set says exactly
+        who needed the line, so lanes that missed the delivery get one
+        re-fetch + re-send addressed to them alone.  A refetch is recovery
+        traffic, not a new serve — it leaves ``mcast.fetches`` and the
+        coalescing-batch balance untouched."""
+        dropped = self.injector.mcast_dropped(targets)
+        if not dropped:
+            return
+        self.counters.add("faults.injected", len(dropped))
+        self.counters.add("faults.mcast_dropped", len(dropped))
+        self.counters.add("recovery.refetches")
+        self.counters.add("recovery.refetch_bytes", nbytes)
+        self.sanitizer.multicast_refetch(batch.region, nbytes,
+                                         len(dropped), self.env.now)
+        yield self.dram.fetch(nbytes, locality)
+        yield self.noc.multicast(MEM_NODE, [f"lane{i}" for i in dropped],
+                                 nbytes)
 
     def _try_allocate(self, lane_id: int, region: str, nbytes: int) -> bool:
         """Pin the region in a lane's scratchpad, evicting LRU regions."""

@@ -41,6 +41,11 @@ from repro.workloads.base import Workload
 PointSpec = tuple  # (Workload, MachineConfig, MachineConfig, bool)
 
 
+class PointTimeoutError(RuntimeError):
+    """A point blew its per-point budget twice — in the pool *and* in the
+    bounded serial recompute — so it is genuinely hung, not just slow."""
+
+
 def default_jobs() -> int:
     """Worker count when the caller does not choose: every core."""
     return os.cpu_count() or 1
@@ -78,23 +83,67 @@ def _run_points_serial(points: Sequence[PointSpec]) -> list:
     return [_compare_point(spec) for spec in points]
 
 
+def _recover_point(spec: PointSpec, timeout: Optional[float]):
+    """Recompute one point serially, under the same per-point budget.
+
+    Without a budget this is a plain in-process recompute. With one, the
+    recompute runs in a single-worker pool bounded by the same ``timeout``
+    the parallel pass used — a point that hangs must not hang the whole
+    suite on the fallback path. A second timeout raises
+    :class:`PointTimeoutError`; any non-timeout failure of the pool
+    machinery falls through to the unbounded in-process path so genuine
+    simulation errors surface exactly as the serial path raises them.
+    """
+    if timeout is None:
+        return _compare_point(spec)
+    pool = None
+    try:
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+        future = pool.submit(_compare_point, spec)
+        return future.result(timeout=timeout)
+    except FutureTimeoutError:
+        workload = spec[0]
+        raise PointTimeoutError(
+            f"evaluation point {workload.name!r} exceeded its {timeout:g}s "
+            f"budget in the worker pool and again in the serial recompute"
+        ) from None
+    except Exception:
+        return _compare_point(spec)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_points(points: Sequence[PointSpec],
                jobs: int,
-               timeout: Optional[float] = None) -> list:
+               timeout: Optional[float] = None,
+               outcomes: Optional[list] = None) -> list:
     """Evaluate points, fanning out over ``jobs`` worker processes.
 
     ``timeout`` bounds each point's wall-clock seconds in the pool; a
     point that exceeds it (or fails to pickle, or loses its worker) is
-    recomputed serially in the parent. Genuine simulation errors — a
-    workload failing functional verification, an invalid configuration —
-    therefore surface exactly as the serial path would raise them.
+    recomputed serially in the parent — still under the same budget when
+    the failure was a timeout (see :func:`_recover_point`). Genuine
+    simulation errors — a workload failing functional verification, an
+    invalid configuration — therefore surface exactly as the serial path
+    would raise them.
+
+    ``outcomes``, when given, is filled in place with one entry per point:
+    ``"ok"`` (computed normally), ``"recovered"`` (serial fallback after a
+    non-timeout failure) or ``"recovered-after-timeout"``.
     """
     points = list(points)
+    if outcomes is not None:
+        outcomes[:] = ["ok"] * len(points)
     if jobs <= 1 or len(points) <= 1:
         return _run_points_serial(points)
 
     results: list = [None] * len(points)
     redo: list[int] = []
+    timed_out: set[int] = set()
     pool = None
     try:
         # fork (where available) shares the already-imported simulator;
@@ -114,6 +163,7 @@ def run_points(points: Sequence[PointSpec],
                 results[index] = future.result(timeout=timeout)
             except FutureTimeoutError:
                 future.cancel()
+                timed_out.add(index)
                 redo.append(index)
             except Exception:
                 # BrokenProcessPool poisons every later future; any
@@ -135,7 +185,12 @@ def run_points(points: Sequence[PointSpec],
             pool.shutdown(wait=False, cancel_futures=True)
 
     for index in redo:
-        results[index] = _compare_point(points[index])
+        bounded = index in timed_out
+        results[index] = _recover_point(points[index],
+                                        timeout if bounded else None)
+        if outcomes is not None:
+            outcomes[index] = ("recovered-after-timeout" if bounded
+                               else "recovered")
     return results
 
 
@@ -146,25 +201,37 @@ def run_suite_parallel(lanes: int = 8,
                        timeout: Optional[float] = None,
                        cache: Optional[EvalCache] = None,
                        delta_config: Optional[MachineConfig] = None,
-                       sanitize: bool = False) -> list:
+                       sanitize: bool = False,
+                       faults=None,
+                       outcomes: Optional[list] = None) -> list:
     """Parallel, cached equivalent of :func:`repro.eval.runner.run_suite`.
 
     Returns one :class:`Comparison` per workload, in input order,
     field-identical to the serial path. With a warm ``cache`` every point
     is served from disk and no simulation runs at all. ``sanitize`` (or a
     ``delta_config`` with ``sanitize`` set) runs both machines of every
-    point under the model sanitizer.
+    point under the model sanitizer; ``faults`` injects a
+    :class:`~repro.sim.faults.FaultPlan` into both machines of every point.
+    ``outcomes``, when given, is filled with one per-workload entry:
+    ``"cached"``, or the :func:`run_points` outcome (``"ok"`` /
+    ``"recovered"`` / ``"recovered-after-timeout"``).
     """
     workloads = list(workloads) if workloads is not None else all_workloads()
     delta_config = delta_config or default_delta_config(lanes=lanes)
     if sanitize and not delta_config.sanitize:
         delta_config = delta_config.with_sanitize(True)
+    if faults is not None and delta_config.faults is None:
+        delta_config = delta_config.with_faults(faults)
     static_config = default_baseline_config(lanes=delta_config.lanes,
                                             seed=delta_config.seed)
     if delta_config.sanitize:
         static_config = static_config.with_sanitize(True)
+    if delta_config.faults is not None:
+        static_config = static_config.with_faults(delta_config.faults)
 
     results: list = [None] * len(workloads)
+    if outcomes is not None:
+        outcomes[:] = ["cached"] * len(workloads)
     pending: list[tuple[int, str, PointSpec]] = []
     for index, workload in enumerate(workloads):
         spec: PointSpec = (workload, delta_config, static_config, verify)
@@ -179,10 +246,15 @@ def run_suite_parallel(lanes: int = 8,
             key = ""
         pending.append((index, key, spec))
 
+    point_outcomes: list = []
     computed = run_points([spec for _i, _k, spec in pending],
-                          jobs=resolve_jobs(jobs), timeout=timeout)
-    for (index, key, _spec), comparison in zip(pending, computed):
+                          jobs=resolve_jobs(jobs), timeout=timeout,
+                          outcomes=point_outcomes)
+    for (index, key, _spec), comparison, outcome in zip(pending, computed,
+                                                        point_outcomes):
         results[index] = comparison
+        if outcomes is not None:
+            outcomes[index] = outcome
         if cache is not None:
             cache.put(key, comparison)
     return results

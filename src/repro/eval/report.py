@@ -28,6 +28,7 @@ from repro.eval.experiments import (
     f8_energy,
     f9_extensions,
     f10_software_runtime,
+    r1_resilience,
     t1_machine_config,
     t2_workload_table,
     t3_area,
@@ -303,6 +304,24 @@ def generate(path: Path, jobs: Optional[int] = None) -> str:
         "window: default sits at the fetch-coalescing knee; chunk size: "
         "interior optimum near the 256 B default; queue depth: flat under "
         "late binding.",
+        r.text))
+
+    r = r1_resilience(jobs=jobs)
+    sections.append(_section(
+        "R1", "resilience under injected faults",
+        "Recovered structure makes recovery cheap: with lane/NoC/DRAM "
+        "fault models active on both machines, Delta should degrade "
+        "gracefully and keep a solid advantage, and an *empty* fault plan "
+        "must cost zero cycles (the hooks are purely additive).",
+        f"speedup {r.data['speedups'][0]:.2f}x fault-free -> "
+        f"{r.data['speedups'][-1]:.2f}x at a "
+        f"{r.data['rates'][-1]:.0%} transient-fault rate — Delta stays "
+        f"well ahead at every rate. Its relative advantage narrows "
+        f"slightly (retry latency lands on Delta's packed critical path; "
+        f"the static schedule's barrier slack hides off-critical "
+        f"repairs). Zero-fault recovery overhead: "
+        f"{r.data['zero_fault_overhead']:+.0f} cycles (bit-identical, "
+        f"enforced per-workload by tests/test_faults.py).",
         r.text))
 
     r = t3_area()

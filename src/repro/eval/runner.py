@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.eval.cache import EvalCache
     from repro.graph.analyses import StructureSummary
     from repro.graph.cache import StructureCache
+    from repro.sim.faults import FaultPlan
 
 from repro.arch.config import (
     MachineConfig,
@@ -111,8 +112,9 @@ def compare(workload: Workload,
             verify: bool = True) -> Comparison:
     """Simulate one workload on Delta and on the static baseline.
 
-    A derived static config inherits ``delta_config.sanitize``, so one
-    flag runs the whole comparison under invariant checking.
+    A derived static config inherits ``delta_config.sanitize`` and
+    ``delta_config.faults``, so one flag (or one fault plan) covers the
+    whole comparison.
     """
     global _simulations
     delta_config = delta_config or default_delta_config()
@@ -121,6 +123,8 @@ def compare(workload: Workload,
             lanes=delta_config.lanes, seed=delta_config.seed)
         if delta_config.sanitize:
             static_config = static_config.with_sanitize(True)
+        if delta_config.faults is not None:
+            static_config = static_config.with_faults(delta_config.faults)
 
     _simulations += 1
     delta_result = Delta(delta_config).run(workload.build_program())
@@ -138,7 +142,8 @@ def run_suite(lanes: int = 8,
               jobs: Optional[int] = None,
               timeout: Optional[float] = None,
               cache: Optional["EvalCache"] = None,
-              sanitize: bool = False) -> list[Comparison]:
+              sanitize: bool = False,
+              faults: Optional["FaultPlan"] = None) -> list[Comparison]:
     """Compare every evaluation workload at the given lane count.
 
     ``jobs`` > 1 fans points out over worker processes (``jobs=None``
@@ -146,7 +151,8 @@ def run_suite(lanes: int = 8,
     serial path); ``cache`` serves repeated points from disk. Both paths
     return field-identical results — see :mod:`repro.eval.parallel`.
     ``sanitize`` runs every point under the model sanitizer (identical
-    results, plus invariant checking).
+    results, plus invariant checking); ``faults`` injects the given
+    :class:`~repro.sim.faults.FaultPlan` into both machines of every point.
     """
     from repro.eval.parallel import resolve_jobs, run_suite_parallel
 
@@ -154,10 +160,13 @@ def run_suite(lanes: int = 8,
     if resolve_jobs(jobs) != 1 or cache is not None:
         return run_suite_parallel(lanes=lanes, workloads=workloads,
                                   jobs=jobs, verify=verify, timeout=timeout,
-                                  cache=cache, sanitize=sanitize)
+                                  cache=cache, sanitize=sanitize,
+                                  faults=faults)
     delta_config = default_delta_config(lanes=lanes)
     if sanitize:
         delta_config = delta_config.with_sanitize(True)
+    if faults is not None:
+        delta_config = delta_config.with_faults(faults)
     return [compare(w, delta_config, verify=verify) for w in workloads]
 
 

@@ -71,3 +71,32 @@ def structure_table(summaries: Sequence["StructureSummary"],
         ["program", "tasks", "edges", "phases", "work", "cp work",
          "T1/Tinf", f"bound@{lanes}", "sharing (sets/readers)"],
         rows, title=f"recovered program structure ({lanes} lanes)")
+
+
+def resilience_table(rates: Sequence[float],
+                     speedups: Sequence[float],
+                     delta_throughput: Sequence[float],
+                     static_throughput: Sequence[float],
+                     lanes: int = 8) -> str:
+    """Fault-rate sweep table: one row per injected fault rate.
+
+    ``speedups`` are the geomean Delta-vs-static speedups at each rate;
+    the throughput columns are each machine's geomean cycles relative to
+    its own fault-free run (1.00 = no slowdown). The last column is how
+    much of its fault-free advantage Delta keeps at that rate.
+    """
+    rows = []
+    for rate, speedup, d_thr, s_thr in zip(rates, speedups,
+                                           delta_throughput,
+                                           static_throughput):
+        rows.append([
+            f"{rate:.0%}",
+            f"{speedup:.2f}x",
+            f"{d_thr:.3f}",
+            f"{s_thr:.3f}",
+            f"{speedup / speedups[0]:.2f}x" if speedups[0] else "-",
+        ])
+    return format_table(
+        ["fault rate", "speedup", "delta thr", "static thr",
+         "rel. advantage"],
+        rows, title=f"resilience under injected faults ({lanes} lanes)")

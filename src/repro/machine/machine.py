@@ -27,6 +27,11 @@ from repro.arch.mapper import Mapper
 from repro.arch.noc import Noc
 from repro.machine.metrics import MetricsBus
 from repro.sim import Environment
+from repro.sim.faults import (
+    FaultInjector,
+    NullFaultInjector,
+    env_fault_plan,
+)
 from repro.sim.sanitize import (
     NullSanitizer,
     Sanitizer,
@@ -48,12 +53,14 @@ class Machine:
     lanes: list[Lane]
     tracer: Tracer
     sanitizer: Sanitizer = field(default_factory=NullSanitizer)
+    injector: FaultInjector = field(default_factory=NullFaultInjector)
 
     @classmethod
     def build(cls, config: MachineConfig, *,
               tracer: Optional[Tracer] = None,
               multicast_enabled: Optional[bool] = None,
-              sanitizer: Optional[Sanitizer] = None) -> "Machine":
+              sanitizer: Optional[Sanitizer] = None,
+              injector: Optional[FaultInjector] = None) -> "Machine":
         """Compose a fresh machine from ``config``.
 
         ``multicast_enabled`` overrides ``config.noc.multicast`` — the
@@ -64,11 +71,26 @@ class Machine:
         ``sanitizer`` overrides the default choice: a live
         :class:`~repro.sim.sanitize.Sanitizer` when ``config.sanitize`` is
         set or ``REPRO_SANITIZE`` is truthy, a disabled one otherwise.
+        ``injector`` overrides the analogous fault-injection choice
+        (``config.faults`` or ``REPRO_FAULTS``); a machine without a plan
+        carries a disabled injector, so the fault hooks cost nothing.
         """
         tracer = tracer or NullTracer()
         if sanitizer is None:
             sanitize = config.sanitize or env_sanitize_requested()
             sanitizer = Sanitizer() if sanitize else NullSanitizer()
+        if injector is None:
+            plan = config.faults if config.faults is not None \
+                else env_fault_plan()
+            if plan is not None and not plan.is_empty():
+                for failure in plan.lane_failures:
+                    if not 0 <= failure.lane < config.lanes:
+                        raise ValueError(
+                            f"fault plan kills lane {failure.lane}, but the "
+                            f"machine has lanes 0..{config.lanes - 1}")
+                injector = FaultInjector(plan)
+            else:
+                injector = NullFaultInjector()
         env = Environment()
         if sanitizer.enabled:
             env.clock_monitor = sanitizer.clock_advanced
@@ -79,9 +101,10 @@ class Machine:
                   config.noc.link_bytes_per_cycle,
                   config.noc.hop_latency, config.noc.header_bytes,
                   multicast_enabled=multicast_enabled,
-                  sanitizer=sanitizer)
+                  sanitizer=sanitizer, injector=injector)
         dram = Dram(env, metrics, config.dram.bytes_per_cycle,
-                    config.dram.latency, config.dram.random_penalty)
+                    config.dram.latency, config.dram.random_penalty,
+                    injector=injector)
         mapper = Mapper(config.lane.fabric, seed=config.seed)
         lanes = [
             Lane(env, metrics, i, config.lane, noc, dram, mapper,
@@ -90,7 +113,7 @@ class Machine:
         ]
         return cls(config=config, env=env, metrics=metrics, noc=noc,
                    dram=dram, mapper=mapper, lanes=lanes, tracer=tracer,
-                   sanitizer=sanitizer)
+                   sanitizer=sanitizer, injector=injector)
 
     @property
     def lane_busy(self) -> list[float]:

@@ -194,6 +194,53 @@ class StaticScheduleMetrics(CounterGroup):
         "Shared-region bytes re-fetched per task (no multicast).")
 
 
+class FaultMetrics(CounterGroup):
+    """Injected faults (written at the injector's call sites).
+
+    Only ever written by an *armed* injector: a fault-free run has no
+    ``faults.*`` counters at all, keeping its fingerprint bit-identical
+    to a build without the fault machinery.
+    """
+
+    prefix = "faults"
+    injected = metric("injected", "Faults injected, all kinds.")
+    lane_failstop = metric("lane_failstop", "Lane fail-stop faults.")
+    task_transient = metric(
+        "task_transient", "Transient mid-flight task-execution faults.")
+    noc_dropped = metric("noc_dropped", "NoC messages dropped at a link.")
+    stream_corrupt = metric(
+        "stream_corrupt", "Pipelined stream chunks corrupted end-to-end.")
+    mcast_dropped = metric(
+        "mcast_dropped", "Multicast deliveries dropped to a target lane.")
+    dram_spikes = metric(
+        "dram_spikes", "DRAM responses hit by a delay spike.")
+    dram_spike_cycles = metric(
+        "dram_spike_cycles", "Extra DRAM delay cycles injected, total.")
+
+
+class RecoveryMetrics(CounterGroup):
+    """Structure-aware recovery activity (written by the runtimes)."""
+
+    prefix = "recovery"
+    retries = metric("retries", "Task re-executions after transient faults.")
+    recovery_cycles = metric(
+        "recovery_cycles",
+        "Cycles lost to dead attempts, backoff, and re-partitioning.")
+    redispatched = metric(
+        "redispatched", "Tasks moved off a failed lane onto survivors.")
+    lanes_lost = metric("lanes_lost", "Lanes quiesced and written off.")
+    replayed_chunks = metric(
+        "replayed_chunks", "Stream chunks replayed from the last ack.")
+    replayed_bytes = metric("replayed_bytes", "Bytes replayed over streams.")
+    noc_retransmits = metric(
+        "noc_retransmits", "Link-level retransmissions of dropped messages.")
+    refetches = metric(
+        "refetches", "Sharing-set-driven refetches of dropped multicasts.")
+    refetch_bytes = metric("refetch_bytes", "Bytes refetched for multicast.")
+    absorbed_spike_cycles = metric(
+        "absorbed_spike_cycles", "DRAM spike cycles absorbed under watchdog.")
+
+
 class TaskMetrics(CounterGroup):
     """Per-task-type execution counts (``tasks.<type name>``)."""
 
@@ -246,6 +293,8 @@ class MetricsBus(Counters):
         self.prefetch = PrefetchMetrics(self)
         self.runtime = RuntimeMetrics(self)
         self.static = StaticScheduleMetrics(self)
+        self.faults = FaultMetrics(self)
+        self.recovery = RecoveryMetrics(self)
         self.tasks = TaskMetrics(self)
 
     @classmethod

@@ -64,12 +64,24 @@ class RunSession:
         env.run(until=max_cycles)
         if not finished():
             detail = f" {stall_detail()}" if stall_detail is not None else ""
+            detail += f"\n{self._lane_snapshot()}"
             sanitizer = self.machine.sanitizer
             if sanitizer.enabled:
                 detail += f"\n{sanitizer.pending_report()}"
             raise ExecutionStalled(
                 f"{self.machine_name} run of {self.program_name!r} did not "
                 f"finish: stalled at cycle {env.now:,.0f}{detail}")
+
+    def _lane_snapshot(self) -> str:
+        """One line of per-lane occupancy — always part of a stall report,
+        so a hung run is diagnosable without re-running under the
+        sanitizer."""
+        lanes = ", ".join(
+            f"{lane.name}: busy={lane.busy_cycles:,.0f}"
+            for lane in self.machine.lanes)
+        return (f"lanes [{lanes}]; "
+                f"{self.tasks_executed} tasks retired, "
+                f"last at cycle {self.last_completion:,.0f}")
 
     # -- result assembly ---------------------------------------------------
 

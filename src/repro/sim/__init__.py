@@ -27,6 +27,15 @@ from repro.sim.engine import (
     SimulationError,
     DeadlockError,
 )
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    LaneFailure,
+    NullFaultInjector,
+    RetryPolicy,
+    UnrecoverableFault,
+    env_fault_plan,
+)
 from repro.sim.resources import Resource, Store, BandwidthServer
 from repro.sim.sanitize import (
     ModelInvariantError,
@@ -57,4 +66,11 @@ __all__ = [
     "NullSanitizer",
     "ModelInvariantError",
     "env_sanitize_requested",
+    "FaultPlan",
+    "LaneFailure",
+    "RetryPolicy",
+    "FaultInjector",
+    "NullFaultInjector",
+    "UnrecoverableFault",
+    "env_fault_plan",
 ]

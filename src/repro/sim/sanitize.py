@@ -33,6 +33,14 @@ Invariant catalog (the ``invariant`` attribute of raised errors):
   counters agree with the observed request stream.
 - ``noc-accounting`` — NoC message/multicast counters agree with the
   observed sends; payloads are finite and non-negative.
+- ``recovery-accounting`` — fault recovery (see :mod:`repro.sim.faults`)
+  stays conservative: a retried task must be running and not yet retired,
+  a re-dispatched task must not have started, a failed lane never runs or
+  receives another task, stream replays only resend produced bytes,
+  multicast refetches follow a real serve, and every ``recovery.*`` /
+  ``faults.*`` counter agrees with the observed recovery event stream.
+  Conservation rules *understand* retries and replays rather than
+  exempting them — recovery may not double-count work or leak tasks.
 
 The sanitizer is *purely observational*: it writes no counters, consumes
 no randomness, and schedules no events, so a sanitized run's result
@@ -138,6 +146,16 @@ class Sanitizer:
         # NoC sends.
         self._noc_unicasts = 0
         self._noc_multicasts = 0
+        # Fault recovery (all zero on a fault-free run, so the
+        # recovery-accounting balance checks reduce to 0 == 0).
+        self._retries = 0
+        self._requeues = 0
+        self._dead_lanes: set[int] = set()
+        self._lanes_failed = 0
+        self._replayed: dict[tuple[int, int], float] = {}
+        self._refetches = 0
+        self._refetched_bytes = 0.0
+        self._noc_retransmits = 0
         self._finished = False
 
     # -- internals ---------------------------------------------------------
@@ -214,6 +232,11 @@ class Sanitizer:
             self._fail("task-conservation",
                        f"task {task.name} dispatched more than once "
                        f"(first to lane {self._dispatched[task.task_id]})",
+                       task=task.name, lane=lane, cycle=cycle)
+        if lane in self._dead_lanes:
+            self._fail("recovery-accounting",
+                       f"task {task.name} dispatched to lane {lane}, which "
+                       f"fail-stopped earlier",
                        task=task.name, lane=lane, cycle=cycle)
         self._dispatched[task.task_id] = lane
         if queue_level is not None and queue_depth is not None \
@@ -313,6 +336,11 @@ class Sanitizer:
                        f"lane {lane} begins task {task.name} while "
                        f"{occupant[1]} still occupies it",
                        task=task.name, lane=lane, cycle=cycle)
+        if lane in self._dead_lanes:
+            self._fail("recovery-accounting",
+                       f"lane {lane} begins task {task.name} after "
+                       f"fail-stopping", task=task.name, lane=lane,
+                       cycle=cycle)
         self._occupant[lane] = (task.task_id, task.name)
 
     def lane_released(self, lane: int, task, cycle: float) -> None:
@@ -458,6 +486,112 @@ class Sanitizer:
         else:
             self._noc_unicasts += 1
 
+    # -- fault recovery ----------------------------------------------------
+
+    def task_retried(self, task, lane: int, attempt: int,
+                     cycle: float) -> None:
+        """A transient fault killed an execution attempt; the task will be
+        re-executed in place after its backoff."""
+        if not self.enabled:
+            return
+        self._observe(cycle, "retry",
+                      f"{task.name} attempt {attempt} on lane{lane}")
+        if task.task_id not in self._started:
+            self._fail("recovery-accounting",
+                       f"task {task.name} retried before it started",
+                       task=task.name, lane=lane, cycle=cycle)
+        if task.task_id in self._completed:
+            self._fail("recovery-accounting",
+                       f"task {task.name} retried after it completed",
+                       task=task.name, lane=lane, cycle=cycle)
+        self._retries += 1
+
+    def task_requeued(self, task, lane: Optional[int],
+                      cycle: float) -> None:
+        """A failed lane's backlog task went back for re-dispatch.
+
+        Clears the dispatch record so the surviving lane's dispatch is the
+        task's one live placement — conservation still holds exactly once.
+        """
+        if not self.enabled:
+            return
+        self._observe(cycle, "requeue", f"{task.name} off lane{lane}")
+        if task.task_id not in self._submitted:
+            self._fail("recovery-accounting",
+                       f"task {task.name} requeued without being submitted",
+                       task=task.name, lane=lane, cycle=cycle)
+        if task.task_id in self._started:
+            self._fail("recovery-accounting",
+                       f"task {task.name} requeued while already running",
+                       task=task.name, lane=lane, cycle=cycle)
+        self._dispatched.pop(task.task_id, None)
+        self._requeues += 1
+
+    def lane_failed(self, lane: int, cycle: float) -> None:
+        """A lane fail-stopped; it must never run or receive work again."""
+        if not self.enabled:
+            return
+        self._observe(cycle, "lane-fail", f"lane{lane} fail-stop")
+        if lane in self._dead_lanes:
+            self._fail("recovery-accounting",
+                       f"lane {lane} fail-stopped twice", lane=lane,
+                       cycle=cycle)
+        self._dead_lanes.add(lane)
+        self._lanes_failed += 1
+
+    def stream_replayed(self, producer_id: int, consumer_id: int,
+                        nbytes: float, cycle: float) -> None:
+        """A corrupt chunk was replayed from the last acknowledged chunk.
+
+        Replays resend bytes already produced — they do not move the
+        produced/consumed balance, and may only follow real production.
+        """
+        if not self.enabled:
+            return
+        self.checks += 1
+        if not math.isfinite(nbytes) or nbytes < 0:
+            self._fail("recovery-accounting",
+                       f"channel #{producer_id}->#{consumer_id} replayed an "
+                       f"invalid chunk of {nbytes!r} bytes", cycle=cycle)
+        key = (producer_id, consumer_id)
+        if self._produced.get(key, 0.0) <= 0.0:
+            self._fail("recovery-accounting",
+                       f"channel #{producer_id}->#{consumer_id} replayed a "
+                       f"chunk before producing anything", cycle=cycle)
+        self._replayed[key] = self._replayed.get(key, 0.0) + nbytes
+
+    def multicast_refetch(self, region: str, nbytes: float, degree: int,
+                          cycle: float) -> None:
+        """Dropped multicast lines refetched for the lanes that missed.
+
+        A refetch is not a serve: it must not move the coalescing-batch
+        balance (``mcast.fetches`` stays equal to opened batches).
+        """
+        if not self.enabled:
+            return
+        self._observe(cycle, "refetch", f"{region} x{degree}")
+        if degree < 1:
+            self._fail("recovery-accounting",
+                       f"multicast refetch of region {region!r} for "
+                       f"{degree} lanes", cycle=cycle)
+        if self._outcomes["fetch"] == 0:
+            self._fail("recovery-accounting",
+                       f"region {region!r} refetched before any coalescing "
+                       f"batch was opened", cycle=cycle)
+        self._refetches += 1
+        self._refetched_bytes += nbytes
+
+    def noc_retransmit(self, kind: str, count: int, cycle: float) -> None:
+        """``count`` link-level drops of one message were retransmitted."""
+        if not self.enabled:
+            return
+        self.checks += 1
+        if count < 1:
+            self._fail("recovery-accounting",
+                       f"{kind} retransmission with non-positive drop "
+                       f"count {count}", cycle=cycle)
+        self._noc_retransmits += count
+
     # -- end-of-run balance checks ----------------------------------------
 
     def pending_report(self) -> str:
@@ -489,6 +623,7 @@ class Sanitizer:
         self._check_streams()
         self._check_multicast(metrics)
         self._check_noc(metrics)
+        self._check_recovery(metrics)
 
     def _check_conservation(self, metrics) -> None:
         for task_id, name in self._submitted.items():
@@ -576,6 +711,28 @@ class Sanitizer:
                 self._fail("noc-accounting",
                            f"noc.{counter} counter reads {counted:,.0f} "
                            f"but the sanitizer observed {observed} sends")
+
+    def _check_recovery(self, metrics) -> None:
+        """Every recovery counter agrees with the observed event stream.
+
+        On a fault-free run every pair below is (0, 0), so this check
+        costs nothing and can never fire spuriously.
+        """
+        pairs = (
+            ("recovery.retries", float(self._retries)),
+            ("recovery.redispatched", float(self._requeues)),
+            ("recovery.noc_retransmits", float(self._noc_retransmits)),
+            ("recovery.refetches", float(self._refetches)),
+            ("recovery.refetch_bytes", self._refetched_bytes),
+            ("recovery.replayed_bytes", sum(self._replayed.values())),
+            ("faults.lane_failstop", float(self._lanes_failed)),
+        )
+        for counter, observed in pairs:
+            counted = metrics.get(counter)
+            if not self._close(counted, observed):
+                self._fail("recovery-accounting",
+                           f"{counter} counter reads {counted:,.0f} but "
+                           f"the sanitizer observed {observed:,.0f}")
 
 
 class NullSanitizer(Sanitizer):

@@ -102,3 +102,104 @@ def test_show_mapping(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- fault plans and structured exit codes --------------------------------
+
+
+def _write_plan(tmp_path, **kwargs):
+    from repro.sim.faults import FaultPlan
+
+    path = tmp_path / "plan.json"
+    FaultPlan(**kwargs).save(path)
+    return str(path)
+
+
+def test_run_with_faults_recovers(tmp_path, capsys):
+    from repro.sim.faults import RetryPolicy
+
+    plan = _write_plan(tmp_path, task_fault_rate=0.3, seed=2,
+                       retry=RetryPolicy(max_attempts=10))
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--faults", plan, "--sanitize", "--counters"]) == 0
+    out = capsys.readouterr().out
+    assert "functional check: OK" in out
+
+
+def test_compare_with_faults(tmp_path, capsys):
+    from repro.sim.faults import RetryPolicy
+
+    plan = _write_plan(tmp_path, task_fault_rate=0.2, seed=3,
+                       retry=RetryPolicy(max_attempts=10))
+    assert main(["compare", "micro-skewed", "--lanes", "2",
+                 "--faults", plan]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_missing_faults_file_is_user_error(capsys):
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--faults", "/no/such/plan.json"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "Traceback" not in err
+
+
+def test_malformed_faults_file_is_user_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--faults", str(path)]) == 2
+
+
+def test_unrecoverable_fault_exits_6(tmp_path, capsys):
+    # Every task faults and the budget is one attempt: recovery exhausts.
+    import json as jsonlib
+
+    path = tmp_path / "fatal.json"
+    path.write_text(jsonlib.dumps({
+        "task_fault_rate": 1.0,
+        "retry": {"max_attempts": 1, "backoff_cycles": 8.0},
+    }))
+    assert main(["run", "micro-uniform", "--lanes", "2",
+                 "--faults", str(path)]) == 6
+    err = capsys.readouterr().err
+    assert "UnrecoverableFault" in err
+    assert "transient-task-fault" in err
+    assert "Traceback" not in err
+
+
+@pytest.mark.parametrize("make_exc,code", [
+    (lambda: __import__("repro.machine.session", fromlist=["x"])
+        .ExecutionStalled("stalled at cycle 5"), 3),
+    (lambda: __import__("repro.graph.ir", fromlist=["x"])
+        .GraphValidationError("cycle in task graph"), 4),
+    (lambda: __import__("repro.sim.sanitize", fromlist=["x"])
+        .ModelInvariantError("task-conservation", "lost a task"), 5),
+    (lambda: __import__("repro.sim.faults", fromlist=["x"])
+        .UnrecoverableFault("lane-fail-stop", "all lanes dead"), 6),
+])
+def test_structured_exit_codes(monkeypatch, capsys, make_exc, code):
+    exc = make_exc()
+
+    def boom(args):
+        raise exc
+
+    monkeypatch.setattr("repro.cli._cmd_run", boom)
+    assert main(["run", "micro-uniform"]) == code
+    err = capsys.readouterr().err
+    assert type(exc).__name__ in err
+    assert "Traceback" not in err
+
+
+def test_diagnostic_is_capped_to_one_screen(monkeypatch, capsys):
+    from repro.machine.session import ExecutionStalled
+
+    def boom(args):
+        raise ExecutionStalled("stalled\n" + "\n".join(
+            f"line {i}" for i in range(100)))
+
+    monkeypatch.setattr("repro.cli._cmd_run", boom)
+    assert main(["run", "micro-uniform"]) == 3
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) <= 31
+    assert "more lines" in err

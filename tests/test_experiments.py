@@ -19,6 +19,7 @@ from repro.eval.experiments import (
     f7_policies,
     f8_energy,
     f10_software_runtime,
+    r1_resilience,
     t1_machine_config,
     t2_workload_table,
     t3_area,
@@ -31,7 +32,7 @@ FAST = [SkewedTasks(num_tasks=16), SharedReadTasks(num_tasks=8)]
 def test_all_experiments_registered():
     assert set(ALL_EXPERIMENTS) == {
         "T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
-        "F8", "F9", "F10", "A1"}
+        "F8", "F9", "F10", "A1", "R1"}
 
 
 def test_t1_structure():
@@ -110,6 +111,17 @@ def test_a1_data_lengths_consistent():
         == len(d["window_fetches"])
     assert len(d["chunks"]) == len(d["chunk_cycles"])
     assert len(d["depths"]) == len(d["depth_cycles"])
+
+
+def test_r1_small():
+    result = r1_resilience(lanes=2, workloads=FAST, rates=(0.0, 0.05),
+                           jobs=1)
+    d = result.data
+    assert result.experiment_id == "R1"
+    assert len(d["speedups"]) == len(d["rates"]) == 2
+    assert d["delta_throughput"][0] == pytest.approx(1.0)
+    assert d["static_throughput"][0] == pytest.approx(1.0)
+    assert d["zero_fault_overhead"] == 0
 
 
 def test_experiment_result_str_includes_id_and_title():

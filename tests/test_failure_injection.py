@@ -228,3 +228,58 @@ class TestSanitizerCatches:
         assert "sanitizer:" in message
         assert "submitted" in message and "completed" in message
         assert "unfinished" in message
+
+
+class TestRecovery:
+    """Injected hardware faults (repro.sim.faults) recover or fail loudly.
+
+    The deep recovery matrix lives in tests/test_faults.py; here we pin
+    the failure-injection angle — an exhausted retry budget must surface
+    as a diagnostic UnrecoverableFault naming fault, task, lane and cycle,
+    never as wrong numbers or a hang.
+    """
+
+    def test_retry_exhaustion_names_fault_task_lane_cycle(self):
+        from repro.sim.faults import (
+            FaultPlan,
+            RetryPolicy,
+            UnrecoverableFault,
+        )
+
+        plan = FaultPlan(task_fault_rate=1.0,
+                         retry=RetryPolicy(max_attempts=2,
+                                           backoff_cycles=8.0))
+        config = default_delta_config(lanes=2).with_faults(plan)
+        with pytest.raises(UnrecoverableFault) as excinfo:
+            Delta(config).run(make_program(lambda ctx, args: None))
+        err = excinfo.value
+        assert err.fault == "transient-task-fault"
+        assert err.task == "inj[0]" or err.task.startswith("inj")
+        assert err.lane in (0, 1)
+        assert err.cycle is not None and err.cycle >= 0
+        message = str(err)
+        assert "[transient-task-fault]" in message
+        assert "task=" in message
+        assert "lane=" in message
+        assert "cycle=" in message
+
+    def test_stall_diagnostics_include_lane_and_queue_snapshot(self):
+        """Every ExecutionStalled carries per-lane occupancy and the
+        dispatcher queue state, sanitizer or not."""
+        with pytest.raises(ExecutionStalled) as excinfo:
+            Delta(default_delta_config(lanes=2)).run(
+                UniformTasks(num_tasks=8).build_program(), max_cycles=5)
+        message = str(excinfo.value)
+        assert "lane0: busy=" in message
+        assert "lane1: busy=" in message
+        assert "tasks retired" in message
+        assert "dispatcher:" in message
+        assert "pending" in message
+
+    def test_static_stall_diagnostics_include_lane_snapshot(self):
+        with pytest.raises(ExecutionStalled) as excinfo:
+            StaticParallel(default_baseline_config(lanes=2)).run(
+                UniformTasks(num_tasks=8).build_program(), max_cycles=5)
+        message = str(excinfo.value)
+        assert "lane0: busy=" in message
+        assert "tasks retired" in message

@@ -50,24 +50,39 @@ class TestParallelExecutor:
         parallel = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=2)
         assert_field_identical(serial, parallel)
 
-    def test_timeout_falls_back_to_serial_recompute(self):
-        # A microscopic per-point budget forces every point down the
-        # fallback path; results must still be correct and complete.
+    def test_generous_timeout_completes_normally(self):
+        # A budget no real point hits: the timed path must still be
+        # field-identical to the serial path.
         serial = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=1)
-        squeezed = run_suite_parallel(lanes=LANES,
-                                      workloads=fast_workloads(), jobs=2,
-                                      timeout=1e-9)
-        assert_field_identical(serial, squeezed)
+        timed = run_suite_parallel(lanes=LANES,
+                                   workloads=fast_workloads(), jobs=2,
+                                   timeout=600.0)
+        assert_field_identical(serial, timed)
+
+    def test_timeout_bounds_the_serial_recompute_too(self):
+        # A microscopic per-point budget times out in the pool AND in the
+        # bounded serial recompute: the point is genuinely over budget, so
+        # the suite raises instead of hanging on an unbounded fallback.
+        from repro.eval.parallel import PointTimeoutError
+
+        with pytest.raises(PointTimeoutError, match="budget"):
+            run_suite_parallel(lanes=LANES, workloads=fast_workloads(),
+                               jobs=2, timeout=1e-9)
 
     def test_unpicklable_workload_falls_back_to_serial(self):
         workloads = fast_workloads()
         # A lambda attribute defeats pickling, so the pool path cannot
-        # ship this workload; the batch must fall back to serial.
+        # ship this workload; the batch must fall back to serial, and the
+        # outcomes must say so — distinctly from a timeout recovery.
         workloads[0].unpicklable = lambda: None
         serial = run_suite(lanes=LANES, workloads=fast_workloads(), jobs=1)
+        outcomes: list = []
         fallback = run_suite_parallel(lanes=LANES, workloads=workloads,
-                                      jobs=2)
+                                      jobs=2, outcomes=outcomes)
         assert_field_identical(serial, fallback)
+        assert len(outcomes) == len(workloads)
+        assert "recovered" in outcomes
+        assert "recovered-after-timeout" not in outcomes
 
     def test_resolve_jobs_env_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
