@@ -51,6 +51,10 @@ class Lane:
             config.stream_chunk_bytes)
         self.tracker = UtilizationTracker(env, counters, self.name)
         self._config_cache: OrderedDict[tuple, Mapping] = OrderedDict()
+        self._trips_key = f"{self.name}.trips"
+        self._hits_key = f"{self.name}.config_hits"
+        self._misses_key = f"{self.name}.config_misses"
+        self._config_cycles_key = f"{self.name}.config_cycles"
 
     # -- configuration -----------------------------------------------------
 
@@ -65,13 +69,13 @@ class Lane:
         cached = self._config_cache.get(key)
         if cached is not None:
             self._config_cache.move_to_end(key)
-            self.counters.add(f"{self.name}.config_hits")
+            self.counters.add(self._hits_key)
             return cached
         mapping = self.mapper.map(dfg)
         if self.config.config_cycles:
             yield self.env.timeout(self.config.config_cycles)
-        self.counters.add(f"{self.name}.config_misses")
-        self.counters.add(f"{self.name}.config_cycles",
+        self.counters.add(self._misses_key)
+        self.counters.add(self._config_cycles_key,
                           self.config.config_cycles)
         self._config_cache[key] = mapping
         while len(self._config_cache) > self.config.config_cache_entries:
@@ -140,7 +144,7 @@ class Lane:
             done_trips += step_trips
             for store in out_stores:
                 yield store.put(step_trips)
-        self.counters.add(f"{self.name}.trips", trips)
+        self.counters.add(self._trips_key, trips)
         for store in out_stores:
             if close_outputs:
                 store.close()

@@ -72,6 +72,13 @@ class Noc:
                         self._links[(b, a)] = BandwidthServer(
                             env, link_bytes_per_cycle,
                             name=f"noc.link{b}-{a}")
+        # Route memoization: XY routing is deterministic and the topology
+        # is fixed at construction, so the link list for any endpoint pair
+        # (and any multicast destination set) never changes.
+        self._route_cache: dict[tuple[str, str],
+                                tuple[list[BandwidthServer], int]] = {}
+        self._tree_cache: dict[tuple[str, tuple[str, ...]],
+                               tuple[list[BandwidthServer], int]] = {}
 
     # -- routing -----------------------------------------------------------
 
@@ -99,12 +106,68 @@ class Noc:
         """Number of links on the route."""
         return len(self.route(src, dst)) - 1
 
+    def _route_links(self, src: str,
+                     dst: str) -> tuple[list[BandwidthServer], int]:
+        """Memoized (link servers, hop count) for an endpoint pair."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            path = self.route(src, dst)
+            servers = [self._links[link] for link in zip(path, path[1:])]
+            cached = (servers, len(path) - 1)
+            self._route_cache[key] = cached
+        return cached
+
+    def _tree_links(self, src: str, dsts: tuple[str, ...],
+                    ) -> tuple[list[BandwidthServer], int]:
+        """Memoized (union-of-routes tree links, max hops) for a fan-out."""
+        key = (src, dsts)
+        cached = self._tree_cache.get(key)
+        if cached is None:
+            tree: list[BandwidthServer] = []
+            seen: set[tuple[Coord, Coord]] = set()
+            max_hops = 0
+            for dst in dsts:
+                path = self.route(src, dst)
+                max_hops = max(max_hops, len(path) - 1)
+                for link in zip(path, path[1:]):
+                    if link not in seen:
+                        seen.add(link)
+                        tree.append(self._links[link])
+            cached = (tree, max_hops)
+            self._tree_cache[key] = cached
+        return cached
+
     # -- transfers ---------------------------------------------------------
 
     def unicast(self, src: str, dst: str, nbytes: float) -> Event:
         """Send one message; returns an event firing on delivery."""
-        path = self.route(src, dst)
-        return self._send_along(path, nbytes)
+        servers, hops = self._route_links(src, dst)
+        if hops == 0:
+            return self.env.timeout(0)
+        payload = nbytes + self.header_bytes
+        if self.env.fast:
+            counters = self.counters
+            finish = self.env.now
+            for _ in range(1 + self._drops("unicast")):
+                for server in servers:
+                    counters.add("noc.bytes", payload)
+                    booked = server.reserve(payload)
+                    if booked > finish:
+                        finish = booked
+                counters.add("noc.messages")
+                self.sanitizer.noc_message("unicast", payload, self.env.now)
+            return self._deliver_fast(finish, self.hop_latency * hops,
+                                      "unicast-delivery")
+        events = []
+        for _ in range(1 + self._drops("unicast")):
+            for server in servers:
+                self.counters.add("noc.bytes", payload)
+                events.append(server.transfer(payload))
+            self.counters.add("noc.messages")
+            self.sanitizer.noc_message("unicast", payload, self.env.now)
+        return self._chain_delivery(events, self.hop_latency * hops,
+                                    "unicast-delivery")
 
     def multicast(self, src: str, dsts: Sequence[str],
                   nbytes: float) -> Event:
@@ -121,35 +184,34 @@ class Noc:
             events = [self.unicast(src, d, nbytes) for d in dsts]
             return self.env.all_of(events)
 
-        tree_links: list[tuple[Coord, Coord]] = []
-        seen: set[tuple[Coord, Coord]] = set()
-        max_hops = 0
-        for dst in dsts:
-            path = self.route(src, dst)
-            max_hops = max(max_hops, len(path) - 1)
-            for link in zip(path, path[1:]):
-                if link not in seen:
-                    seen.add(link)
-                    tree_links.append(link)
+        tree, max_hops = self._tree_links(src, tuple(dsts))
         payload = nbytes + self.header_bytes
+        if self.env.fast and tree:
+            counters = self.counters
+            finish = self.env.now
+            for _ in range(1 + self._drops("multicast")):
+                for server in tree:
+                    counters.add("noc.bytes", payload)
+                    counters.add("noc.multicast_link_bytes", payload)
+                    booked = server.reserve(payload)
+                    if booked > finish:
+                        finish = booked
+                counters.add("noc.multicasts")
+                self.sanitizer.noc_message("multicast", payload,
+                                           self.env.now)
+            return self._deliver_fast(finish, self.hop_latency * max_hops,
+                                      "multicast-delivery")
         events = []
         for _ in range(1 + self._drops("multicast")):
-            for link in tree_links:
+            for server in tree:
                 self.counters.add("noc.bytes", payload)
                 self.counters.add("noc.multicast_link_bytes", payload)
-                events.append(self._links[link].transfer(payload))
+                events.append(server.transfer(payload))
             self.counters.add("noc.multicasts")
             self.sanitizer.noc_message("multicast", payload, self.env.now)
-        done = self.env.event(name="multicast-delivery")
-        tail = self.env.all_of(events)
-
-        def after(_ev: Event) -> None:
-            # Per-hop latency to the farthest leaf.
-            self.env.timeout(self.hop_latency * max_hops).add_callback(
-                lambda _t: done.succeed())
-
-        tail.add_callback(after)
-        return done
+        # Per-hop latency to the farthest leaf.
+        return self._chain_delivery(events, self.hop_latency * max_hops,
+                                    "multicast-delivery")
 
     def _drops(self, kind: str) -> int:
         """Link-level packet loss: how many times the next message is
@@ -168,26 +230,44 @@ class Noc:
             self.sanitizer.noc_retransmit(kind, drops, self.env.now)
         return drops
 
-    def _send_along(self, path: list[Coord], nbytes: float) -> Event:
-        payload = nbytes + self.header_bytes
-        hops = len(path) - 1
-        if hops == 0:
-            return self.env.timeout(0)
-        events = []
-        for _ in range(1 + self._drops("unicast")):
-            for link in zip(path, path[1:]):
-                self.counters.add("noc.bytes", payload)
-                events.append(self._links[link].transfer(payload))
-            self.counters.add("noc.messages")
-            self.sanitizer.noc_message("unicast", payload, self.env.now)
-        done = self.env.event(name="unicast-delivery")
+    def _chain_delivery(self, events: list[Event], tail_delay: float,
+                        name: str) -> Event:
+        """Reference delivery: all link transfers, then per-hop latency."""
+        done = self.env.event(name=name)
         tail = self.env.all_of(events)
 
         def after(_ev: Event) -> None:
-            self.env.timeout(self.hop_latency * hops).add_callback(
+            self.env.timeout(tail_delay).add_callback(
                 lambda _t: done.succeed())
 
         tail.add_callback(after)
+        return done
+
+    def _deliver_fast(self, finish: float, tail_delay: float,
+                      name: str) -> Event:
+        """Closed-form delivery for the fast kernel.
+
+        The link serialization times are already booked (``reserve``), so
+        delivery is fully determined: the message clears its last link at
+        ``finish`` and arrives ``tail_delay`` later. The three chained call
+        slots reproduce the reference chain's queue positions exactly —
+        last-link timeout, ``all_of`` tail, hop-latency timeout — so the
+        ``done`` event lands in the same slot of the same time bucket as
+        the reference kernel's would (see tests/test_engine_equivalence.py).
+        """
+        env = self.env
+        done = Event(env, name)
+
+        def slot_hop(_arg: object) -> None:
+            done.succeed()
+
+        def slot_tail(_arg: object) -> None:
+            env._schedule_call_at(env.now + tail_delay, slot_hop)
+
+        def slot_last_link(_arg: object) -> None:
+            env._schedule_call_at(env.now, slot_tail)
+
+        env._schedule_call_at(finish, slot_last_link)
         return done
 
     # -- reporting ---------------------------------------------------------

@@ -40,6 +40,8 @@ class Scratchpad:
                             name=f"{name}.bank{i}")
             for i in range(banks)
         ]
+        self._read_key = f"{name}.read_bytes"
+        self._write_key = f"{name}.write_bytes"
         self._regions: dict[str, int] = {}
         self._used = 0
         self._rr = 0  # round-robin bank pointer for striping
@@ -55,8 +57,8 @@ class Scratchpad:
         """
         bank = self.banks[self._rr]
         self._rr = (self._rr + 1) % len(self.banks)
-        kind = "write" if is_write else "read"
-        self.counters.add(f"{self.name}.{kind}_bytes", nbytes)
+        self.counters.add(self._write_key if is_write else self._read_key,
+                          nbytes)
         return bank.transfer(nbytes)
 
     # -- residency ---------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import Generator, Optional
 from repro.arch.dram import Dram
 from repro.arch.noc import MEM_NODE, Noc
 from repro.arch.spad import Scratchpad
-from repro.sim import Counters, Environment, Process, Resource, Store
+from repro.sim import Counters, Environment, Event, Process, Resource, Store
 
 
 class StreamEngine:
@@ -38,6 +38,10 @@ class StreamEngine:
         self.spad = spad
         self.chunk_bytes = chunk_bytes
         self.max_inflight_chunks = max_inflight_chunks
+        self._in_key = f"{lane_name}.stream_in_bytes"
+        self._resident_key = f"{lane_name}.resident_read_bytes"
+        self._out_key = f"{lane_name}.stream_out_bytes"
+        self._credits_name = f"{lane_name}.in_credits"
 
     # -- helpers -----------------------------------------------------------
 
@@ -67,6 +71,9 @@ class StreamEngine:
         compute process can consume data as it arrives. The returned
         process completes when the final chunk has landed.
         """
+        if self.env.fast:
+            return self._stream_in_fast(nbytes, locality, dest_store,
+                                        close_dest)
         return self.env.process(
             self._pump_from_dram(nbytes, locality, dest_store, close_dest),
             name=f"{self.lane_name}.stream_in")
@@ -75,7 +82,7 @@ class StreamEngine:
                         dest_store: Optional[Store], close_dest: bool,
                         ) -> Generator:
         credits = Resource(self.env, self.max_inflight_chunks,
-                           name=f"{self.lane_name}.in_credits")
+                           name=self._credits_name)
         tails = []
         for size in self.chunks_of(nbytes):
             yield credits.acquire()
@@ -83,9 +90,51 @@ class StreamEngine:
             tails.append(self.env.process(
                 self._deliver_chunk(size, dest_store, credits)))
         yield self.env.all_of(tails)
-        self.counters.add(f"{self.lane_name}.stream_in_bytes", nbytes)
+        self.counters.add(self._in_key, nbytes)
         if dest_store is not None and close_dest:
             dest_store.close()
+
+    def _stream_in_fast(self, nbytes: float, locality: float,
+                        dest_store: Optional[Store],
+                        close_dest: bool) -> Event:
+        """Callback-chain form of :meth:`_pump_from_dram` (fast kernel).
+
+        Stage code runs in exactly the slots the generator version's
+        resumes would occupy (callbacks fire synchronously inside the
+        awaited event's slot), so both forms are schedule-identical.
+        """
+        env = self.env
+        complete = Event(env, "stream_in")
+        credits = Resource(env, self.max_inflight_chunks,
+                           name=self._credits_name)
+        sizes = self.chunks_of(nbytes)
+        tails: list[Event] = []
+        idx = [0]
+
+        def final(_ev: object) -> None:
+            self.counters.add(self._in_key, nbytes)
+            if dest_store is not None and close_dest:
+                dest_store.close()
+            complete.succeed()
+
+        def after_fetch(_ev: object) -> None:
+            tails.append(self._deliver_chunk_fast(
+                sizes[idx[0]], dest_store, credits))
+            idx[0] += 1
+            next_chunk(None)
+
+        def after_grant(_ev: object) -> None:
+            self.dram.fetch(sizes[idx[0]],
+                            locality).add_callback(after_fetch)
+
+        def next_chunk(_arg: object) -> None:
+            if idx[0] == len(sizes):
+                env.all_of(tails).add_callback(final)
+            else:
+                credits.acquire().add_callback(after_grant)
+
+        env._schedule_call(next_chunk, complete)
+        return complete
 
     def _deliver_chunk(self, size: int, dest_store: Optional[Store],
                        credits: Resource) -> Generator:
@@ -94,6 +143,41 @@ class StreamEngine:
         if dest_store is not None:
             yield dest_store.put(size)
         credits.release()
+
+    def _deliver_chunk_fast(self, size: int, dest_store: Optional[Store],
+                            credits: Resource) -> Event:
+        """Callback-chain form of :meth:`_deliver_chunk` (fast kernel).
+
+        Each stage runs in exactly the queue slot where the generator
+        version's ``Process._resume`` would run it — callbacks fire
+        synchronously inside the awaited event's slot, just like a process
+        resume does — so the two forms are schedule-identical while this
+        one skips the generator frame, the Process object, and four
+        ``send`` round-trips per chunk.
+        """
+        env = self.env
+        complete = Event(env, "deliver_chunk")
+
+        def finish(_ev: object) -> None:
+            credits.release()
+            complete.succeed()
+
+        def after_spad(_ev: object) -> None:
+            if dest_store is not None:
+                dest_store.put(size).add_callback(finish)
+            else:
+                finish(None)
+
+        def after_noc(_ev: object) -> None:
+            self.spad.access(size, is_write=True).add_callback(after_spad)
+
+        def start(_arg: object) -> None:
+            self.noc.unicast(MEM_NODE, self.lane_name,
+                             size).add_callback(after_noc)
+
+        # Same bootstrap slot a freshly spawned process would occupy.
+        env._schedule_call(start, complete)
+        return complete
 
     # -- resident scratchpad data -> fabric --------------------------------
 
@@ -105,6 +189,8 @@ class StreamEngine:
         No DRAM or NoC traffic — only scratchpad bank reads. This is the
         payoff of read-sharing recovery.
         """
+        if self.env.fast:
+            return self._read_resident_fast(nbytes, dest_store, close_dest)
         return self.env.process(
             self._pump_resident(nbytes, dest_store, close_dest),
             name=f"{self.lane_name}.read_resident")
@@ -115,9 +201,44 @@ class StreamEngine:
             yield self.spad.access(size, is_write=False)
             if dest_store is not None:
                 yield dest_store.put(size)
-        self.counters.add(f"{self.lane_name}.resident_read_bytes", nbytes)
+        self.counters.add(self._resident_key, nbytes)
         if dest_store is not None and close_dest:
             dest_store.close()
+
+    def _read_resident_fast(self, nbytes: float,
+                            dest_store: Optional[Store],
+                            close_dest: bool) -> Event:
+        """Callback-chain form of :meth:`_pump_resident` (fast kernel)."""
+        env = self.env
+        complete = Event(env, "read_resident")
+        sizes = self.chunks_of(nbytes)
+        idx = [0]
+
+        def final() -> None:
+            self.counters.add(self._resident_key, nbytes)
+            if dest_store is not None and close_dest:
+                dest_store.close()
+            complete.succeed()
+
+        def after_put(_ev: object) -> None:
+            idx[0] += 1
+            step(None)
+
+        def after_access(_ev: object) -> None:
+            if dest_store is not None:
+                dest_store.put(sizes[idx[0]]).add_callback(after_put)
+            else:
+                after_put(None)
+
+        def step(_arg: object) -> None:
+            if idx[0] == len(sizes):
+                final()
+            else:
+                self.spad.access(sizes[idx[0]],
+                                 is_write=False).add_callback(after_access)
+
+        env._schedule_call(step, complete)
+        return complete
 
     # -- lane -> memory ----------------------------------------------------
 
@@ -129,6 +250,8 @@ class StreamEngine:
         (tokens put by the compute process); otherwise the whole transfer
         is issued immediately (end-of-task writeback).
         """
+        if self.env.fast:
+            return self._stream_out_fast(nbytes, locality, src_store)
         return self.env.process(
             self._pump_to_dram(nbytes, locality, src_store),
             name=f"{self.lane_name}.stream_out")
@@ -155,12 +278,84 @@ class StreamEngine:
                 size = min(self.chunk_bytes, remaining)
                 yield from self._writeback_chunk(size, locality)
                 remaining -= size
-        self.counters.add(f"{self.lane_name}.stream_out_bytes", nbytes)
+        self.counters.add(self._out_key, nbytes)
 
     def _writeback_chunk(self, size: float, locality: float) -> Generator:
         yield self.spad.access(size, is_write=False)
         yield self.noc.unicast(self.lane_name, MEM_NODE, size)
         yield self.dram.writeback(size, locality)
+
+    def _stream_out_fast(self, nbytes: float, locality: float,
+                         src_store: Optional[Store]) -> Event:
+        """Callback-chain form of :meth:`_pump_to_dram` (fast kernel)."""
+        env = self.env
+        complete = Event(env, "stream_out")
+        remaining = [float(nbytes)]
+
+        def writeback(size: float, then) -> None:
+            # spad read -> NoC to MEM -> DRAM writeback, like
+            # _writeback_chunk, each stage in its awaited event's slot.
+            def after_noc(_ev: object) -> None:
+                self.dram.writeback(size, locality).add_callback(then)
+
+            def after_spad(_ev: object) -> None:
+                self.noc.unicast(self.lane_name, MEM_NODE,
+                                 size).add_callback(after_noc)
+
+            self.spad.access(size, is_write=False).add_callback(after_spad)
+
+        def final() -> None:
+            self.counters.add(self._out_key, nbytes)
+            complete.succeed()
+
+        if src_store is None:
+            sizes = self.chunks_of(nbytes)
+            idx = [0]
+
+            def step(_arg: object) -> None:
+                if idx[0] == len(sizes):
+                    final()
+                else:
+                    def done(_ev: object) -> None:
+                        idx[0] += 1
+                        step(None)
+
+                    writeback(sizes[idx[0]], done)
+
+            env._schedule_call(step, complete)
+            return complete
+
+        def trailing(_arg: object) -> None:
+            if remaining[0] > 0:
+                size = min(self.chunk_bytes, remaining[0])
+
+                def done(_ev: object) -> None:
+                    remaining[0] -= size
+                    trailing(None)
+
+                writeback(size, done)
+            else:
+                final()
+
+        def on_token(ev: Event) -> None:
+            if ev.value is Store.END:
+                trailing(None)
+                return
+            size = min(self.chunk_bytes, remaining[0])
+            if size > 0:
+                def done(_ev: object) -> None:
+                    remaining[0] -= size
+                    get_next(None)
+
+                writeback(size, done)
+            else:
+                get_next(None)
+
+        def get_next(_arg: object) -> None:
+            src_store.get().add_callback(on_token)
+
+        env._schedule_call(get_next, complete)
+        return complete
 
     # -- lane -> lane (pipelined inter-task dependences) --------------------
 

@@ -26,6 +26,12 @@ from repro.sim.engine import (
     Interrupt,
     SimulationError,
     DeadlockError,
+    total_events_processed,
+)
+from repro.sim.fastengine import (
+    FastEnvironment,
+    engine_name,
+    make_environment,
 )
 from repro.sim.faults import (
     FaultInjector,
@@ -48,12 +54,16 @@ from repro.sim.trace import Tracer, NullTracer, TraceEvent
 
 __all__ = [
     "Environment",
+    "FastEnvironment",
+    "engine_name",
+    "make_environment",
     "Event",
     "Process",
     "Timeout",
     "Interrupt",
     "SimulationError",
     "DeadlockError",
+    "total_events_processed",
     "Resource",
     "Store",
     "BandwidthServer",

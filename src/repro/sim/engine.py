@@ -20,6 +20,19 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
+#: Scheduling slots drained by every environment in this process — the
+#: denominator of the events/sec metric in BENCH_*.json. Outside the
+#: counter bag on purpose: the two kernels process different slot counts
+#: (the fast engine elides shim events), so this must never reach a
+#: fingerprint.
+_process_events_total = 0
+
+
+def total_events_processed() -> int:
+    """Process-wide count of scheduling slots drained by ``run()`` calls."""
+    return _process_events_total
+
+
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (yielding a non-event, etc.)."""
 
@@ -52,7 +65,8 @@ class Event:
     def __init__(self, env: "Environment", name: str = "") -> None:
         self.env = env
         self.name = name
-        self._callbacks: list[Callable[[Event], None]] = []
+        # Lazily allocated: most events carry exactly one waiter, many none.
+        self._callbacks: Optional[list[Callable[[Event], None]]] = None
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._triggered = False
@@ -86,6 +100,8 @@ class Event:
         if self._processed:
             # Run via the heap to preserve causal ordering.
             self.env._schedule_call(fn, self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -111,9 +127,10 @@ class Event:
 
     def _process(self) -> None:
         self._processed = True
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = ("processed" if self._processed
@@ -123,7 +140,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` cycles after creation."""
+    """An event that fires ``delay`` cycles after creation.
+
+    The display name is derived lazily in ``__repr__`` — timeouts are the
+    single most-created object in a run, and formatting a name for each
+    would dominate their cost.
+    """
 
     __slots__ = ("delay",)
 
@@ -131,12 +153,17 @@ class Timeout(Event):
                  value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=f"timeout({delay})")
+        super().__init__(env)
         self.delay = delay
         self._triggered = True
         self._ok = True
         self._value = value
         env._schedule_event(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("processed" if self._processed
+                 else "triggered" if self._triggered else "pending")
+        return f"<timeout({self.delay}) {state} at t={self.env.now}>"
 
 
 class Process(Event):
@@ -159,11 +186,16 @@ class Process(Event):
             generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick off the process via an immediate event so creation order
-        # matches execution order.
-        bootstrap = Event(env, name=f"init:{self.name}")
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # Kick off the process via an immediate scheduling slot so creation
+        # order matches execution order. The environment owns how that slot
+        # is represented (the fast kernel uses a bare call slot instead of
+        # a bootstrap event — same queue position either way).
+        env._schedule_process_start(self)
+
+    def _start(self, _arg: Any = None) -> None:
+        """First resume, from the bootstrap slot (nothing awaited yet)."""
+        if self.is_alive:
+            self._step(None, is_throw=False)
 
     @property
     def is_alive(self) -> bool:
@@ -238,11 +270,19 @@ class Environment:
         a simulator where a modeling bug should abort the experiment.
     """
 
+    #: Class tag the arch components consult to pick their fast paths;
+    #: the reference kernel reports False, :class:`~repro.sim.fastengine.
+    #: FastEnvironment` overrides it.
+    fast = False
+
     def __init__(self, strict: bool = True) -> None:
         self.now: float = 0.0
         self.strict = strict
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: Scheduling slots drained so far — the denominator of the
+        #: events/sec throughput metric in BENCH_*.json.
+        self.events_processed = 0
         #: Optional observer called as ``clock_monitor(prev, next)`` right
         #: before the clock advances to a later time — the sanitizer's
         #: cycle-monotonicity hook. None (the default) costs one comparison
@@ -260,6 +300,17 @@ class Environment:
         shim = Event(self, name="callback-shim")
         shim.add_callback(lambda _ev: fn(event))
         shim.succeed()
+
+    def _schedule_process_start(self, process: "Process") -> None:
+        """Queue the first resume of a freshly created process.
+
+        One scheduling slot at the current time, so creation order matches
+        execution order. The fast kernel overrides this with a bare call
+        slot — same queue position, no bootstrap Event object.
+        """
+        bootstrap = Event(self, name=f"init:{process.name}")
+        bootstrap.add_callback(process._start)
+        bootstrap.succeed()
 
     # -- public API ------------------------------------------------------
 
@@ -307,6 +358,36 @@ class Environment:
             ev.add_callback(make_cb(i))
         return done
 
+    def all_done(self, events: Iterable[Event]) -> Event:
+        """Like :meth:`all_of` but the value is always ``None``.
+
+        Most aggregation points in the machine model only gate on
+        completion and drop the value list; this variant skips the
+        per-child closures and value bookkeeping. Scheduling behaviour is
+        identical to ``all_of`` — the aggregate fires from the last
+        child's callback slot either way.
+        """
+        events = list(events)
+        done = self.event(name="all_done")
+        if not events:
+            done.succeed()
+            return done
+        remaining = [len(events)]
+
+        def cb(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev.ok is False:
+                done.fail(ev.value)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.succeed()
+
+        for ev in events:
+            ev.add_callback(cb)
+        return done
+
     def any_of(self, events: Iterable[Event]) -> Event:
         """An event that fires when the first of the given events fires."""
         events = list(events)
@@ -333,17 +414,23 @@ class Environment:
         ends the run (callers check completion events; the Delta top level
         raises a descriptive error if its program did not finish).
         """
-        while self._heap:
-            at, _seq, event = self._heap[0]
-            if until is not None and at > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            if self.clock_monitor is not None and at != self.now:
-                self.clock_monitor(self.now, at)
-            self.now = at
-            event._process()
-        return self.now
+        global _process_events_total
+        start = self.events_processed
+        try:
+            while self._heap:
+                at, _seq, event = self._heap[0]
+                if until is not None and at > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                if self.clock_monitor is not None and at != self.now:
+                    self.clock_monitor(self.now, at)
+                self.now = at
+                self.events_processed += 1
+                event._process()
+            return self.now
+        finally:
+            _process_events_total += self.events_processed - start
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""

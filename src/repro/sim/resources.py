@@ -31,6 +31,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.name = name
+        self._acquire_name = f"acquire:{name}"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
 
@@ -46,7 +47,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        grant = self.env.event(name=f"acquire:{self.name}")
+        grant = Event(self.env, self._acquire_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             grant.succeed(self)
@@ -85,6 +86,8 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.name = name
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
         self._items: deque[Any] = deque()
         self._putters: deque[tuple[Event, Any]] = deque()
         self._getters: deque[Event] = deque()
@@ -105,7 +108,7 @@ class Store:
         """Return an event that fires when ``item`` has been enqueued."""
         if self._closed:
             raise SimulationError(f"put() on closed store {self.name!r}")
-        done = self.env.event(name=f"put:{self.name}")
+        done = Event(self.env, self._put_name)
         if self._getters:
             # Hand the item straight to the oldest waiting consumer.
             getter = self._getters.popleft()
@@ -122,7 +125,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next item (or END)."""
-        got = self.env.event(name=f"get:{self.name}")
+        got = Event(self.env, self._get_name)
         if self._items:
             got.succeed(self._items.popleft())
             self._admit_waiting_putter()
@@ -206,16 +209,28 @@ class BandwidthServer:
 
     def transfer(self, nbytes: float) -> Event:
         """Return an event firing when ``nbytes`` have been delivered."""
+        return self.env.timeout(self.reserve(nbytes) - self.env.now)
+
+    def reserve(self, nbytes: float) -> float:
+        """Book a transfer and return its absolute delivery time.
+
+        Identical channel bookkeeping to :meth:`transfer` without creating
+        an event — the closed-form NoC/DRAM fast paths use this and place
+        their own completion slot at the returned time.
+        """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
-        start = max(self.env.now, self._next_free)
+        start = self._next_free
+        now = self.env.now
+        if now > start:
+            start = now
         service = nbytes / self.bytes_per_cycle
         finish = start + service
         self._next_free = finish
         self._busy_cycles += service
         self.total_bytes += nbytes
         self.total_transfers += 1
-        return self.env.timeout(finish + self.latency - self.env.now)
+        return finish + self.latency
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time busy over ``elapsed`` (default: env.now)."""

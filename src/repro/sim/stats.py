@@ -94,6 +94,7 @@ class UtilizationTracker:
         self.env = env
         self.counters = counters
         self.name = name
+        self._busy_key = f"{name}.busy_cycles"
         self._busy = 0.0
         self._last_active: Optional[float] = None
 
@@ -103,7 +104,7 @@ class UtilizationTracker:
             raise ValueError(f"negative busy duration: {duration}")
         self._busy += duration
         self._last_active = self.env.now
-        self.counters.add(f"{self.name}.busy_cycles", duration)
+        self.counters.add(self._busy_key, duration)
 
     @property
     def busy_cycles(self) -> float:

@@ -1,0 +1,259 @@
+"""Fast-vs-reference engine equivalence: the bit-identity contract.
+
+``REPRO_ENGINE=fast`` (the default) swaps the heap-based event kernel for
+the calendar-queue kernel in :mod:`repro.sim.fastengine`, plus the
+closed-form component fast paths it enables (NoC delivery, CPS stream
+pumps). The contract is that the switch is *invisible*: every statistic
+the harness reads — fingerprints, :class:`RunResult` fields, the full
+MetricsBus counter bag — is bit-identical between the two engines.
+
+This module is the enforcement: the full workload registry at two lane
+counts on both runtimes, Hypothesis-random programs under seeded-random
+machine configurations, and the raw kernel primitives. The reference
+kernel is the oracle; any divergence here is a fast-path bug by
+definition.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import (
+    default_baseline_config,
+    default_delta_config,
+)
+from repro.baseline.static import StaticParallel
+from repro.core.delta import Delta
+from repro.eval.runner import compare
+from repro.machine.metrics import MetricsBus
+from repro.sim import (
+    BandwidthServer,
+    Environment,
+    FastEnvironment,
+    Store,
+    engine_name,
+    make_environment,
+)
+from repro.sim.fastengine import ENGINE_VAR
+from repro.util.fingerprint import (
+    comparison_fingerprint,
+    result_fingerprint,
+    result_stats,
+)
+from repro.workloads.registry import get_workload, workload_names
+from tests.test_properties import (
+    FEATURE_COMBOS,
+    build_program_from_spec,
+    random_program_spec,
+)
+
+LANE_COUNTS = [2, 8]
+
+ENGINES = ("reference", "fast")
+
+
+@contextmanager
+def engine(name: str):
+    """Select the event kernel for the machines built inside the block."""
+    old = os.environ.get(ENGINE_VAR)
+    os.environ[ENGINE_VAR] = name
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ[ENGINE_VAR]
+        else:
+            os.environ[ENGINE_VAR] = old
+
+
+def _compare_under(engine_choice: str, workload_name: str, lanes: int):
+    """One Delta-vs-static comparison under the chosen kernel.
+
+    A fresh workload/program pair is built inside the block: programs are
+    stateful across runs, so reusing one across engines would diverge for
+    reasons that have nothing to do with the kernel.
+    """
+    with engine(engine_choice):
+        return compare(get_workload(workload_name),
+                       default_delta_config(lanes=lanes), verify=False)
+
+
+def _assert_results_identical(reference, fast, label: str) -> None:
+    """Field-by-field bit-identity of two RunResults (reference first)."""
+    assert result_fingerprint(fast) == result_fingerprint(reference), (
+        f"{label}: fingerprint diverged\n"
+        f"  reference: {result_stats(reference)}\n"
+        f"  fast:      {result_stats(fast)}")
+    # The fingerprint already covers these, but asserting them separately
+    # gives a readable diff when a future change breaks one field.
+    assert fast.machine == reference.machine
+    assert fast.program_name == reference.program_name
+    assert fast.cycles == reference.cycles
+    assert fast.tasks_executed == reference.tasks_executed
+    assert fast.lane_busy == reference.lane_busy
+    assert fast.counters.snapshot() == reference.counters.snapshot()
+    # MetricsBus derives from the counter bag; check the headline views.
+    ref_metrics, fast_metrics = reference.metrics, fast.metrics
+    assert isinstance(fast_metrics, MetricsBus)
+    assert fast_metrics.dram.total_bytes == ref_metrics.dram.total_bytes
+    assert fast_metrics.noc.bytes == ref_metrics.noc.bytes
+    assert fast.imbalance_cv == reference.imbalance_cv
+
+
+# ------------------------------------------------- full workload matrix
+
+@pytest.mark.parametrize("lanes", LANE_COUNTS)
+@pytest.mark.parametrize("workload_name", workload_names())
+def test_engines_bit_identical_on_workload(workload_name, lanes):
+    """Every registered workload, both runtimes, both lane counts."""
+    reference = _compare_under("reference", workload_name, lanes)
+    fast = _compare_under("fast", workload_name, lanes)
+    _assert_results_identical(reference.delta, fast.delta,
+                              f"{workload_name}@lanes={lanes} [delta]")
+    _assert_results_identical(reference.static, fast.static,
+                              f"{workload_name}@lanes={lanes} [static]")
+    assert comparison_fingerprint(fast) == comparison_fingerprint(reference)
+
+
+# ------------------------------------------------- randomized configs
+
+@st.composite
+def random_machine_config(draw):
+    """A seeded-random MachineConfig exercising scheduler/NoC variety."""
+    from dataclasses import replace
+
+    lanes = draw(st.sampled_from([1, 2, 4]))
+    config = default_delta_config(
+        lanes=lanes,
+        seed=draw(st.integers(min_value=0, max_value=7)),
+        features=FEATURE_COMBOS[draw(st.integers(
+            min_value=0, max_value=len(FEATURE_COMBOS) - 1))])
+    config = replace(
+        config,
+        dispatch=replace(config.dispatch,
+                         policy=draw(st.sampled_from(
+                             ["work-aware", "round-robin", "random",
+                              "steal"])),
+                         queue_depth=draw(st.sampled_from([2, 16]))),
+        lane=replace(config.lane,
+                     stream_chunk_bytes=draw(st.sampled_from([64, 256])),
+                     config_cycles=draw(st.sampled_from([0, 64]))),
+        noc=replace(config.noc,
+                    multicast=draw(st.booleans()),
+                    hop_latency=draw(st.sampled_from([0, 2]))))
+    return config
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=random_program_spec(), config=random_machine_config())
+def test_engines_bit_identical_on_random_programs(spec, config):
+    """Random dependence-correct programs × seeded-random machines."""
+    with engine("reference"):
+        reference = Delta(config).run(build_program_from_spec(spec))
+    with engine("fast"):
+        fast = Delta(config).run(build_program_from_spec(spec))
+    _assert_results_identical(reference, fast, "random-program [delta]")
+    assert sorted(fast.state["ran"]) == sorted(reference.state["ran"])
+
+
+@settings(max_examples=6, deadline=None)
+@given(spec=random_program_spec(),
+       lanes=st.sampled_from([1, 2, 4]),
+       seed=st.integers(min_value=0, max_value=3))
+def test_engines_bit_identical_on_static_baseline(spec, lanes, seed):
+    """The static-parallel runtime obeys the same contract."""
+    config = default_baseline_config(lanes=lanes, seed=seed)
+    with engine("reference"):
+        reference = StaticParallel(config).run(build_program_from_spec(spec))
+    with engine("fast"):
+        fast = StaticParallel(config).run(build_program_from_spec(spec))
+    _assert_results_identical(reference, fast, "random-program [static]")
+
+
+# ------------------------------------------------- kernel primitives
+
+@pytest.mark.parametrize("env_cls", [Environment, FastEnvironment])
+def test_store_fifo_under_both_kernels(env_cls):
+    """The bounded Store behaves identically under either kernel."""
+    env = env_cls()
+    store = Store(env, capacity=2)
+    received = []
+
+    def producer():
+        for item in range(7):
+            yield store.put(item)
+        store.close()
+
+    def consumer():
+        while True:
+            got = yield store.get()
+            if got is Store.END:
+                return
+            received.append(got)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == list(range(7))
+
+
+def test_bandwidth_server_timing_matches_between_kernels():
+    """transfer() completion times agree exactly across kernels."""
+    sizes = [100, 3, 57, 1024, 8]
+    finishes = {}
+    for env_cls in (Environment, FastEnvironment):
+        env = env_cls()
+        server = BandwidthServer(env, bytes_per_cycle=4.0, latency=3)
+        times = []
+
+        def proc():
+            for size in sizes:
+                yield server.transfer(size)
+                times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        finishes[env_cls.__name__] = (times, env.now,
+                                      server.total_bytes,
+                                      server.utilization())
+    assert finishes["FastEnvironment"] == finishes["Environment"]
+
+
+def test_fast_kernel_until_bound_matches_reference():
+    """run(until=...) stops at the same clock on both kernels."""
+    for env_cls in (Environment, FastEnvironment):
+        env = env_cls()
+
+        def ticker():
+            while True:
+                yield env.timeout(10)
+
+        env.process(ticker())
+        assert env.run(until=35) == 35
+        assert env.now == 35
+
+
+# ------------------------------------------------- engine selection
+
+def test_engine_defaults_to_fast(monkeypatch):
+    monkeypatch.delenv(ENGINE_VAR, raising=False)
+    assert engine_name() == "fast"
+    assert isinstance(make_environment(), FastEnvironment)
+
+
+def test_engine_switch_selects_reference(monkeypatch):
+    monkeypatch.setenv(ENGINE_VAR, "reference")
+    assert engine_name() == "reference"
+    env = make_environment()
+    assert type(env) is Environment
+    assert not env.fast
+
+
+def test_engine_rejects_unknown_name(monkeypatch):
+    monkeypatch.setenv(ENGINE_VAR, "turbo")
+    with pytest.raises(ValueError, match="REPRO_ENGINE"):
+        engine_name()

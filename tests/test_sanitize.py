@@ -509,20 +509,38 @@ class TestSanitizedRuns:
 
 
 class TestDifferentialMatrix:
-    """Every workload, both runtimes, both lane counts: the sanitized run
-    must find nothing and change nothing (bit-identical fingerprints)."""
+    """Every workload, both runtimes, both lane counts, both event
+    engines: the sanitized run must find nothing and change nothing.
+
+    The matrix closes the loop between the sanitizer's invariants and the
+    fast event kernel (tests/test_engine_equivalence.py): for each point,
+    sanitized-fast == sanitized-reference == unsanitized-reference,
+    bit-identically. A fast-path shortcut that broke an invariant — or
+    dodged the sanitizer's observation hooks — diverges here.
+    """
 
     @pytest.mark.parametrize("lanes", [2, 8])
     @pytest.mark.parametrize("name", workload_names())
-    def test_sanitized_fingerprint_identical(self, name, lanes):
+    def test_sanitized_fingerprint_identical(self, name, lanes, monkeypatch):
         from repro.eval.runner import compare
 
         workload = get_workload(name)
-        plain = compare(workload, default_delta_config(lanes=lanes))
-        sanitized = compare(
-            workload, default_delta_config(lanes=lanes).with_sanitize(True))
-        assert result_stats(sanitized.delta) == result_stats(plain.delta)
-        assert result_stats(sanitized.static) == result_stats(plain.static)
+        config = default_delta_config(lanes=lanes)
+
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        plain = compare(workload, config)
+        sanitized_ref = compare(workload, config.with_sanitize(True))
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        sanitized_fast = compare(workload, config.with_sanitize(True))
+
+        for side in ("delta", "static"):
+            baseline = result_stats(getattr(plain, side))
+            assert result_stats(getattr(sanitized_ref, side)) == baseline, \
+                f"{name}@lanes={lanes} [{side}]: sanitizer perturbed the " \
+                "reference engine"
+            assert result_stats(getattr(sanitized_fast, side)) == baseline, \
+                f"{name}@lanes={lanes} [{side}]: sanitized fast engine " \
+                "diverged from unsanitized reference"
 
 
 class TestInjectedModelBugs:
