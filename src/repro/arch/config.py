@@ -129,14 +129,14 @@ class DramConfig:
 class DispatchConfig:
     """The hardware task dispatcher (TaskStream's new structure).
 
-    ``policy`` selects the balancing scheme:
-
-    - ``"work-aware"`` — TaskStream's policy: enqueue to the lane with the
-      least estimated outstanding *work* (using WorkHint annotations).
-    - ``"round-robin"`` — task-count balancing, ignorant of work.
-    - ``"random"`` — uniform random lane choice.
-    - ``"steal"`` — round-robin enqueue with idle lanes stealing from the
-      richest queue (software-runtime stand-in for sensitivity studies).
+    ``policy`` names a :class:`~repro.sched.api.SchedulingPolicy` from
+    the registry (:func:`repro.sched.policy_names` is the single source
+    of truth — the CLI ``--policy`` choices derive from the same list).
+    Built-ins: ``work-aware`` (TaskStream's work-aware least-loaded
+    default), ``round-robin``, ``random``, ``steal``, plus the tournament
+    family ``critical-path``, ``streaming-depth-first``,
+    ``block-partition``, and ``steal-tuned`` — see
+    :mod:`repro.sched.policies` and ``docs/scheduling.md``.
     """
 
     policy: str = "work-aware"
@@ -147,13 +147,21 @@ class DispatchConfig:
     #: each task's hint, so a lane holding many tiny tasks is correctly
     #: seen as loaded even when the sum of hints is small.
     work_overhead: float = 96.0
-
-    _POLICIES = ("work-aware", "round-robin", "random", "steal")
+    #: Record the opt-in ``sched.*`` counter group (pool peak, steal
+    #: attempts/hits, priority inversions). Off by default: counters feed
+    #: run fingerprints, so observability must be armed explicitly — the
+    #: same contract as ``MachineConfig.sanitize``/``faults``.
+    sched_stats: bool = False
 
     def __post_init__(self) -> None:
-        if self.policy not in self._POLICIES:
+        # Resolved lazily: repro.sched sits above repro.arch in the layer
+        # order, and the registry import pulls in the built-in policies.
+        from repro.sched.api import policy_names
+
+        names = policy_names()
+        if self.policy not in names:
             raise ValueError(
-                f"dispatch.policy must be one of {self._POLICIES}, "
+                f"dispatch.policy must be one of {names}, "
                 f"got {self.policy!r}")
         check_non_negative("dispatch.dispatch_cycles", self.dispatch_cycles)
         check_positive("dispatch.queue_depth", self.queue_depth)
@@ -247,6 +255,12 @@ class MachineConfig:
     def with_sanitize(self, sanitize: bool = True) -> "MachineConfig":
         """Copy with runtime invariant checking on (or off)."""
         return replace(self, sanitize=sanitize)
+
+    def with_sched_stats(self, sched_stats: bool = True) -> "MachineConfig":
+        """Copy with the opt-in ``sched.*`` counter group armed (or not)."""
+        return replace(self,
+                       dispatch=replace(self.dispatch,
+                                        sched_stats=sched_stats))
 
     def with_faults(self, faults: Optional[FaultPlan]) -> "MachineConfig":
         """Copy with a fault-injection plan attached (or removed)."""

@@ -26,10 +26,12 @@ from typing import Generator, Optional
 
 from repro.arch.config import MachineConfig
 from repro.arch.lane import Lane
-from repro.core.program import Program, partition_block, partition_cyclic
+from repro.core.program import Program
 from repro.core.task import Task
 from repro.graph.ir import TaskGraph, recover_structure
 from repro.machine import Machine, RunResult, RunSession
+from repro.sched.api import SchedulingPolicy, create_policy
+from repro.sched.structure import hints_from_graph
 from repro.sim import Store
 from repro.sim.faults import UnrecoverableFault
 from repro.sim.trace import NullTracer, Tracer
@@ -49,23 +51,37 @@ class StaticParallel:
             max_cycles: Optional[float] = None,
             trace: bool = False) -> RunResult:
         """Recover the program's structure, statically schedule each of
-        the IR's barrier phases, and simulate."""
+        the IR's barrier phases, and simulate.
+
+        Phase splitting goes through the configured scheduling policy's
+        :meth:`~repro.sched.api.SchedulingPolicy.partition` hook — the
+        same code path the block-partition dynamic policy uses — so a
+        static schedule and Delta share one source of partition logic.
+        The default policy's hook delegates straight to the classic
+        block/cyclic splitters, bit-identical to the pre-seam baseline.
+        """
         graph = recover_structure(program)
+        policy = create_policy(self.config.dispatch.policy)
+        policy.bind(self.config.dispatch, self.config.lanes,
+                    features=self.config.features)
+        policy.attach(hints_from_graph(graph))
         machine = Machine.build(self.config,
                                 tracer=Tracer() if trace else NullTracer(),
                                 multicast_enabled=False)
-        return _StaticRun(machine, graph, self.partition).run(max_cycles)
+        return _StaticRun(machine, graph, self.partition,
+                          policy).run(max_cycles)
 
 
 class _StaticRun:
     """The static phase schedule of one recovered task graph."""
 
     def __init__(self, machine: Machine, graph: TaskGraph,
-                 partition: str) -> None:
+                 partition: str, policy: SchedulingPolicy) -> None:
         self.machine = machine
         self.config = machine.config
         self.graph = graph
         self.partition = partition
+        self.policy = policy
         self.tracer = machine.tracer
         self.env = machine.env
         self.metrics = machine.metrics
@@ -101,12 +117,11 @@ class _StaticRun:
         return self.session.result(cycles=self._finish_cycle)
 
     def _main(self) -> Generator:
-        split = (partition_block if self.partition == "block"
-                 else partition_cyclic)
         for phase_index, phase in enumerate(self.graph.phases):
             if not phase:
                 continue
-            assignments = split(phase, self.config.lanes)
+            assignments = self.policy.partition(phase, self.config.lanes,
+                                                mode=self.partition)
             workers = []
             for lane, tasks in zip(self.lanes, assignments):
                 if tasks:

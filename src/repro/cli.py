@@ -32,6 +32,7 @@ from repro.eval.runner import attach_structure
 from repro.eval.runner import compare as run_compare
 from repro.eval.runner import run_suite, suite_geomean
 from repro.eval.tables import format_table
+from repro.sched import policy_names, policy_uses_structure
 from repro.workloads import get_workload
 from repro.workloads.registry import workload_names
 
@@ -49,9 +50,8 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--lanes", type=int, default=8,
                        help="number of accelerator lanes (default 8)")
         p.add_argument("--policy", default="work-aware",
-                       choices=["work-aware", "round-robin", "random",
-                                "steal"],
-                       help="dispatch policy")
+                       choices=list(policy_names()),
+                       help="dispatch policy (from the sched registry)")
         p.add_argument("--no-lb", action="store_true",
                        help="disable work-aware load balancing")
         p.add_argument("--no-pipe", action="store_true",
@@ -120,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--faults", metavar="FILE",
                         help="inject faults from a FaultPlan JSON file "
                              "into every point (both machines)")
+    p_eval.add_argument("--policy-matrix", action="store_true",
+                        help="run the scheduling-policy tournament: every "
+                             "registered policy over the suite, fault-free "
+                             "and under a canned fault plan (--faults "
+                             "overrides the plan)")
 
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("experiment_id",
@@ -181,7 +186,13 @@ def _cmd_run(args) -> int:
             config = config.with_sanitize(True)
         if plan is not None:
             config = config.with_faults(plan)
-        result = Delta(config).run(program, trace=bool(args.trace))
+        sched_hints = None
+        if policy_uses_structure(args.policy):
+            from repro.sched.structure import hints_from_factory
+
+            sched_hints = hints_from_factory(workload.build_program)
+        result = Delta(config).run(program, trace=bool(args.trace),
+                                   sched_hints=sched_hints)
     else:
         config = default_baseline_config(lanes=args.lanes, seed=args.seed)
         if args.sanitize:
@@ -265,6 +276,8 @@ def _cmd_eval(args) -> int:
         workloads = [get_workload(name) for name in args.workloads]
 
     jobs = args.jobs if args.jobs else default_jobs()
+    if args.policy_matrix:
+        return _cmd_policy_matrix(args, workloads, jobs, cache)
     sims_before = simulation_count()
     started = time.perf_counter()
     outcomes: list[str] = []
@@ -296,6 +309,36 @@ def _cmd_eval(args) -> int:
         print(cache.stats())
     if structure_cache is not None:
         print(structure_cache.stats())
+    return 0
+
+
+def _cmd_policy_matrix(args, workloads, jobs, cache) -> int:
+    """``repro eval --policy-matrix``: the scheduling-policy tournament."""
+    import time
+
+    from repro.eval.policy_matrix import (
+        canned_fault_plan,
+        run_policy_matrix,
+        tournament_winner,
+    )
+    from repro.eval.tables import policy_matrix_table
+
+    if workloads is None:
+        workloads = [get_workload(name) for name in workload_names()]
+    plan = _fault_plan(args) or canned_fault_plan()
+    started = time.perf_counter()
+    outcomes = run_policy_matrix(lanes=args.lanes, workloads=workloads,
+                                 jobs=jobs, timeout=args.timeout,
+                                 cache=cache, sanitize=args.sanitize,
+                                 plan=plan)
+    elapsed = time.perf_counter() - started
+    print(policy_matrix_table(outcomes, lanes=args.lanes))
+    winner = tournament_winner(outcomes)
+    print(f"winner: {winner.policy} "
+          f"({winner.speedup:.2f}x fault-free geomean, "
+          f"{winner.faulty_speedup:.2f}x under the fault plan)")
+    print(f"wall-clock {elapsed:.2f}s, {len(outcomes)} policies x "
+          f"{len(workloads)} workloads x 2 fault conditions")
     return 0
 
 

@@ -40,6 +40,7 @@ from repro.core.multicast import MulticastManager
 from repro.core.program import Program
 from repro.core.task import Task, run_kernel
 from repro.machine import ExecutionStalled, Machine, RunResult, RunSession
+from repro.sched.api import StructureHints
 from repro.sim import Store
 from repro.sim.faults import LaneFailure, UnrecoverableFault
 from repro.sim.trace import NullTracer, Tracer
@@ -69,6 +70,7 @@ class Delta:
             max_cycles: Optional[float] = None,
             trace: bool = False,
             sharing_degrees: Optional[Mapping[str, int]] = None,
+            sched_hints: Optional[StructureHints] = None,
             ) -> RunResult:
         """Simulate ``program`` to completion and return the result.
 
@@ -81,11 +83,19 @@ class Delta:
         enables the multicast oracle: coalescing windows close as soon as
         a region's whole sharing set has requested it. Omitted (the
         default), timing is bit-identical to the fixed-window design.
+
+        ``sched_hints`` (see :mod:`repro.sched.structure`) feeds the
+        dispatch policy's structure attach point. Hints must come from a
+        **twin** program build — recovering structure executes kernels —
+        and are only worth computing when
+        :func:`~repro.sched.api.policy_uses_structure` says the
+        configured policy reads them.
         """
         machine = Machine.build(self.config,
                                 tracer=Tracer() if trace else NullTracer())
         return _DeltaRun(machine, program,
-                         sharing_degrees=sharing_degrees).run(max_cycles)
+                         sharing_degrees=sharing_degrees,
+                         sched_hints=sched_hints).run(max_cycles)
 
 
 class _DeltaRun:
@@ -93,6 +103,7 @@ class _DeltaRun:
 
     def __init__(self, machine: Machine, program: Program,
                  sharing_degrees: Optional[Mapping[str, int]] = None,
+                 sched_hints: Optional[StructureHints] = None,
                  ) -> None:
         self.machine = machine
         self.config = machine.config
@@ -114,6 +125,8 @@ class _DeltaRun:
             self.env, self.metrics, self.config.dispatch, self.config.lanes,
             self.features, self.rng.fork("dispatch"),
             sanitizer=self.sanitizer)
+        if sched_hints is not None:
+            self.dispatcher.attach_hints(sched_hints)
         self.mcast = MulticastManager(
             self.env, self.metrics, self.noc, self.dram, self.lanes,
             window_cycles=self.config.effective_mcast_window(),
@@ -154,16 +167,22 @@ class _DeltaRun:
 
     def _worker(self, lane: Lane) -> Generator:
         queue = self.dispatcher.queues[lane.lane_id]
-        stealing = self.config.dispatch.policy == "steal"
+        policy = self.dispatcher.policy
         while True:
-            if stealing:
+            if policy.steals:
                 if self.dispatcher.drained.triggered:
+                    return
+                if self.injector.enabled \
+                        and self.dispatcher.is_dead(lane.lane_id):
+                    # A fail-stopped lane must not turn thief: stealing
+                    # onto a dead queue would strand the haul (the dead
+                    # worker requeues one task and goes dark).
                     return
                 if queue.level == 0:
                     stolen = yield from self.dispatcher.try_steal(
                         lane.lane_id)
                     if not stolen:
-                        yield self.env.timeout(16)
+                        yield self.env.timeout(policy.idle_backoff)
                     continue
             task = yield queue.get()
             if self.injector.enabled \

@@ -8,13 +8,20 @@ three things:
    ready when its producers have *started* (pipelining enabled — consumer
    and producer overlap) or *completed* (pipelining disabled — the stream
    degrades to a memory round trip).
-2. **Lane selection.** The TaskStream policy is *work-aware least-loaded*:
-   enqueue to the lane with the smallest sum of outstanding work estimates
-   (WorkHint annotations). Comparison policies: round-robin (task-count
-   balancing), random, and work stealing.
+2. **Lane selection.** Delegated to a pluggable
+   :class:`~repro.sched.api.SchedulingPolicy` resolved from the registry
+   by ``config.policy`` — pool ordering, lane choice, and steal behavior
+   all live in :mod:`repro.sched.policies`. The dispatcher keeps the
+   mechanism (queues, bookkeeping, fault recovery) and exposes it to the
+   policy: ``pool``, ``candidates``, ``least_loaded``, ``affinity_lane``.
 3. **Dispatch serialization.** One task dispatches every
    ``dispatch_cycles`` — the hardware dispatch port is a finite resource,
    which is what makes very fine task granularity expensive (figure F6).
+
+Policy decision hooks are plain calls inside the dispatch process (they
+never touch the event loop), so two policies that make the same decisions
+produce bit-identical runs — the property the golden fingerprints pin for
+the default ``work-aware`` entry.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from typing import Optional
 
 from repro.arch.config import DispatchConfig, FeatureFlags
 from repro.core.task import Task
+from repro.sched.api import StructureHints, create_policy
 from repro.sim import Counters, Environment, Event, Store
 from repro.sim.faults import UnrecoverableFault
 from repro.sim.sanitize import NULL_SANITIZER, Sanitizer
@@ -65,12 +73,14 @@ class Dispatcher:
         #: still win the affinity tie-break. The machine sets this to its
         #: reconfiguration cost — the break-even point.
         self.affinity_window: float = config.work_overhead
-        #: Ready tasks awaiting dispatch. Work-aware mode treats this as a
-        #: priority pool ordered by work hint (largest first — LPT); the
-        #: naive policies drain it FIFO.
-        self._pool: list[Task] = []
+        #: Ready tasks awaiting dispatch, in readiness order. The policy
+        #: owns the drain order: work-aware walks it largest-first (LPT),
+        #: the naive policies FIFO, critical-path by bottom level, ...
+        self.pool: list[Task] = []
+        #: The pluggable scheduling policy, resolved from the registry.
+        self.policy = create_policy(config.policy)
+        self.policy.bind(config, lanes, features=features, rng=rng)
         self._wake: Optional[Event] = None
-        self._rr_next = 0
         self._outstanding = 0
         self._drained = env.event(name="dispatch.drained")
         self._started_events: dict[int, Event] = {}
@@ -134,8 +144,13 @@ class Dispatcher:
         gate.add_callback(lambda _ev, t=task: self._make_ready(t))
 
     def _make_ready(self, task: Task) -> None:
-        self._pool.append(task)
+        self.pool.append(task)
+        self._note_pool()
         self.kick()
+
+    def attach_hints(self, hints: Optional[StructureHints]) -> None:
+        """Hand recovered-structure hints to the policy (None clears)."""
+        self.policy.attach(hints)
 
     def kick(self) -> None:
         """Wake the dispatch loop (new ready task or a freed queue slot).
@@ -146,10 +161,24 @@ class Dispatcher:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
 
+    # -- sched.* observability (opt-in: DispatchConfig.sched_stats) ---------
+
     @property
-    def _work_aware(self) -> bool:
-        return (self.config.policy == "work-aware"
-                and self.features.work_aware_lb)
+    def sched_stats(self) -> bool:
+        """Whether opt-in ``sched.*`` counters are recorded. Off by
+        default: the counter bag feeds run fingerprints, so scheduling
+        observability must not perturb the frozen default-path goldens
+        (same contract as the ``faults.*`` group: silent unless armed)."""
+        return self.config.sched_stats
+
+    def _note_pool(self) -> None:
+        if self.config.sched_stats:
+            self.counters.set_max("sched.pool_peak", len(self.pool))
+
+    def note_inversion(self) -> None:
+        """Called by a priority policy when the dispatched task was not
+        its first choice (a higher-priority task had no eligible lane)."""
+        self.counters.add("sched.priority_inversions")
 
     # -- dispatch loop ----------------------------------------------------------
 
@@ -183,46 +212,15 @@ class Dispatcher:
                 queue_depth=self.config.queue_depth)
 
     def _pick(self) -> Optional[tuple[Task, int]]:
-        """Choose the next (task, lane) pair, or None to wait.
+        """The policy's (task, lane) choice, or None to wait."""
+        return self.policy.select(self)
 
-        Work-aware mode walks the pool largest-first (LPT). With the
-        ``config_affinity`` extension it additionally matches *tasks to
-        lanes*: when a lane frees up, prefer a pool task whose DFG the
-        lane will already hold — placing whatever arrives next would
-        force a reconfiguration even though a matching task is waiting.
-        """
-        if not self._pool:
-            return None
-        if self._work_aware:
-            fallback: Optional[tuple[Task, int]] = None
-            for task in sorted(self._pool, key=lambda t: -t.work):
-                candidates = [i for i in self._candidates(task)
-                              if self.queues[i].level < self.LOW_WATER]
-                if not candidates:
-                    continue
-                if fallback is None:
-                    fallback = (task, self._least_loaded(candidates))
-                    if not self.features.config_affinity:
-                        break
-                if self.features.config_affinity:
-                    lane = self._affinity_lane(candidates, task)
-                    if lane is not None:
-                        self.counters.add("dispatch.affinity_matches")
-                        self._pool.remove(task)
-                        return task, lane
-            if fallback is not None:
-                self._pool.remove(fallback[0])
-            return fallback
-        # Naive policies: FIFO over the pool, eager placement.
-        task = self._pool.pop(0)
-        return task, self._choose_naive(task)
-
-    def _least_loaded(self, candidates: list[int]) -> int:
+    def least_loaded(self, candidates: list[int]) -> int:
         """The least-loaded candidate lane."""
         return min(candidates, key=lambda i: (self.pending_work[i], i))
 
-    def _affinity_lane(self, candidates: list[int],
-                       task: Task) -> Optional[int]:
+    def affinity_lane(self, candidates: list[int],
+                      task: Task) -> Optional[int]:
         """A candidate lane already holding this task's configuration and
         loaded within the reconfiguration-cost window, or None. Balancing
         stays primary: beyond the window the match does not pay."""
@@ -235,7 +233,10 @@ class Dispatcher:
             return None
         return min(matched, key=lambda i: (self.pending_work[i], i))
 
-    def _candidates(self, task: Task) -> list[int]:
+    def candidates(self, task: Task) -> list[int]:
+        """Lanes eligible for ``task``: alive, and not holding one of its
+        in-flight stream producers (placing a consumer on its producer's
+        lane would serialize the pipeline)."""
         avoid = {p.lane_id for p in task.stream_from
                  if p.lane_id is not None and not p.completed}
         alive = [i for i in range(self.num_lanes)
@@ -244,22 +245,13 @@ class Dispatcher:
         return candidates or alive or list(range(self.num_lanes))
 
     def _choose_naive(self, task: Task) -> int:
-        candidates = self._candidates(task)
-        free = [i for i in candidates
-                if self.queues[i].level < self.config.queue_depth]
-        if free:
-            candidates = free
-        policy = self.config.policy
-        if policy == "random":
-            return self.rng.choice(candidates)
-        # work-aware-with-lb-ablated, round-robin, and steal all place
-        # round-robin (task-count balancing).
-        for _ in range(self.num_lanes):
-            lane = self._rr_next
-            self._rr_next = (self._rr_next + 1) % self.num_lanes
-            if lane in candidates:
-                return lane
-        return candidates[0]
+        """Eager single-lane choice for FIFO policies.
+
+        Thin delegation to the policy — kept as a dispatcher method so
+        the metamorphic lane-permutation tests can monkeypatch the lane
+        decision in one place regardless of the active policy.
+        """
+        return self.policy.choose_lane(self, task)
 
     # -- lane-side hooks ------------------------------------------------------
 
@@ -339,7 +331,8 @@ class Dispatcher:
         self.sanitizer.task_requeued(task, lane, self.env.now)
         self.counters.add("recovery.redispatched")
         task.lane_id = None
-        self._pool.append(task)
+        self.pool.append(task)
+        self._note_pool()
         self.kick()
 
     def queue_snapshot(self) -> str:
@@ -356,21 +349,27 @@ class Dispatcher:
     # -- stealing ----------------------------------------------------------------
 
     def try_steal(self, thief_lane: int):
-        """Generator: an idle lane steals half the richest queue's tasks.
+        """Generator: an idle lane steals from a policy-chosen victim.
 
-        Only active under the ``steal`` policy. Returns the number of tasks
-        stolen (after paying ``steal_cycles`` on success).
+        Only active under a stealing policy (``policy.steals``): the
+        policy picks the victim *before* the steal latency is paid and
+        sizes the haul *after* it elapsed (the victim's backlog may have
+        drained meanwhile — classic steal-half semantics). Returns the
+        number of tasks stolen. A fail-stopped lane neither steals (the
+        guard here) nor gets chosen as victim (the policy's alive
+        filter), so no work is ever credited to a dead lane.
         """
-        if self.config.policy != "steal":
+        if not self.policy.steals or thief_lane in self.dead_lanes:
             return 0
-        # Victim is the lane with the most *queued* (not running) tasks.
-        victim = max(range(self.num_lanes), key=lambda i: self.queues[i].level)
-        if victim == thief_lane or self.queues[victim].level == 0:
+        if self.config.sched_stats:
+            self.counters.add("sched.steal_attempts")
+        victim = self.policy.choose_victim(self, thief_lane)
+        if victim is None:
             return 0
         yield self.env.timeout(self.config.steal_cycles)
         self.counters.add("dispatch.steals")
         victim_q = self.queues[victim]
-        count = max(1, victim_q.level // 2)
+        count = self.policy.steal_count(self, victim_q.level)
         stolen: list[Task] = []
         for _ in range(count):
             if victim_q.level == 0:
@@ -386,4 +385,6 @@ class Dispatcher:
             self.sanitizer.task_stolen(task, victim, thief_lane,
                                        self.env.now)
             yield self.queues[thief_lane].put(task)
+        if stolen and self.config.sched_stats:
+            self.counters.add("sched.steal_hits")
         return len(stolen)

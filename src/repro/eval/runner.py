@@ -30,6 +30,7 @@ from repro.arch.config import (
 from repro.baseline.static import StaticParallel
 from repro.core.delta import Delta
 from repro.core.result import RunResult
+from repro.sched import policy_uses_structure
 from repro.util.stats import geomean
 from repro.workloads import all_workloads
 from repro.workloads.base import Workload
@@ -127,7 +128,16 @@ def compare(workload: Workload,
             static_config = static_config.with_faults(delta_config.faults)
 
     _simulations += 1
-    delta_result = Delta(delta_config).run(workload.build_program())
+    sched_hints = None
+    if policy_uses_structure(delta_config.dispatch.policy):
+        # Structure-aware policies read hints recovered from a twin
+        # build (recovery executes kernels, so it must never touch the
+        # instance that will simulate). Online policies skip the cost.
+        from repro.sched.structure import hints_from_factory
+
+        sched_hints = hints_from_factory(workload.build_program)
+    delta_result = Delta(delta_config).run(workload.build_program(),
+                                           sched_hints=sched_hints)
     static_result = StaticParallel(static_config).run(
         workload.build_program())
     if verify:

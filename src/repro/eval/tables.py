@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.policy_matrix import PolicyOutcome
     from repro.graph.analyses import StructureSummary
 
 
@@ -71,6 +72,44 @@ def structure_table(summaries: Sequence["StructureSummary"],
         ["program", "tasks", "edges", "phases", "work", "cp work",
          "T1/Tinf", f"bound@{lanes}", "sharing (sets/readers)"],
         rows, title=f"recovered program structure ({lanes} lanes)")
+
+
+def policy_matrix_table(outcomes: Sequence["PolicyOutcome"],
+                        lanes: int = 8) -> str:
+    """Tournament standings: one row per policy, winner first.
+
+    Rows are ranked by fault-free geomean speedup (the ``*`` marks the
+    winner). ``faulty`` is the same geomean under the canned fault plan
+    and ``degrade`` how much of the policy's own clean speedup that
+    costs; ``steals`` renders as hits/attempts. Workloads a policy could
+    not finish under faults land in the last column and are excluded
+    from its faulty geomean.
+    """
+    ranked = sorted(outcomes, key=lambda o: o.speedup, reverse=True)
+    rows = []
+    for index, o in enumerate(ranked):
+        marker = "*" if index == 0 else " "
+        degrade = ("-" if o.degradation != o.degradation
+                   else f"{o.degradation:+.1%}")
+        steals = ("-" if not o.steal_attempts
+                  else f"{o.steal_hits:,.0f}/{o.steal_attempts:,.0f}")
+        rows.append([
+            f"{marker}{o.policy}",
+            "yes" if o.uses_structure else "-",
+            f"{o.speedup:.2f}x",
+            "-" if o.faulty_speedup != o.faulty_speedup
+            else f"{o.faulty_speedup:.2f}x",
+            degrade,
+            f"{o.pool_peak:,.0f}",
+            steals,
+            f"{o.inversions:,.0f}" if o.inversions else "-",
+            ", ".join(o.failures) if o.failures else "-",
+        ])
+    return format_table(
+        ["policy", "hints", "speedup", "faulty", "degrade", "pool pk",
+         "steals", "inversions", "failed under faults"],
+        rows, title=f"policy tournament ({lanes} lanes, "
+                    f"geomean vs static baseline)")
 
 
 def resilience_table(rates: Sequence[float],

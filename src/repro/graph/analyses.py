@@ -104,6 +104,33 @@ def critical_path(graph: TaskGraph) -> CriticalPath:
     return CriticalPath(finish[tail], tuple(chain), graph.total_work)
 
 
+def bottom_levels(graph: TaskGraph) -> dict[int, float]:
+    """Longest remaining path from each task to a sink, by task id.
+
+    The list-scheduling "bottom level" b(t): t's own work plus the
+    longest chain below it, under the same typed-edge timing semantics as
+    :func:`critical_path` — an AFTER successor waits for t to *finish*
+    (its chain adds to t's work), while a STREAM/SPAWN successor overlaps
+    t's execution (the chain through it is bounded below by whichever of
+    the two is longer, not their sum). The entry task's bottom level
+    equals T∞ on a single-entry graph; scheduling priority by descending
+    b(t) is classic critical-path list scheduling (HPDC'23 uses the same
+    rank over its streaming task graphs).
+    """
+    levels: dict[int, float] = {}
+    for task in reversed(graph.topological_order()):
+        best = task.work
+        for succ, kind in graph.successors[task.task_id]:
+            if kind == EdgeKind.AFTER:
+                below = task.work + levels[succ]
+            else:
+                below = max(task.work, levels[succ])
+            if below > best:
+                best = below
+        levels[task.task_id] = best
+    return levels
+
+
 @dataclass(frozen=True)
 class PhaseProfile:
     """One barrier phase: how many tasks, how much work, how skewed."""

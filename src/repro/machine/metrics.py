@@ -166,6 +166,25 @@ class DispatchMetrics(CounterGroup):
         "affinity_matches", "Placements won by the config-affinity tie-break.")
 
 
+class SchedMetrics(CounterGroup):
+    """Scheduling-policy observability (written by the dispatcher).
+
+    Opt-in via ``DispatchConfig.sched_stats`` — like ``faults.*``, a
+    default run writes no ``sched.*`` counters at all, keeping its
+    fingerprint bit-identical with the group compiled in.
+    """
+
+    prefix = "sched"
+    pool_peak = metric("pool_peak", "High-water mark of the ready pool.")
+    steal_attempts = metric(
+        "steal_attempts", "Idle-lane steal attempts (incl. victimless).")
+    steal_hits = metric(
+        "steal_hits", "Steal attempts that landed at least one task.")
+    priority_inversions = metric(
+        "priority_inversions",
+        "Dispatches where a higher-priority task had no eligible lane.")
+
+
 class PrefetchMetrics(CounterGroup):
     """The prefetch extension (double buffering of private reads)."""
 
@@ -290,6 +309,7 @@ class MetricsBus(Counters):
         self.mcast = MulticastMetrics(self)
         self.pipe = PipelineMetrics(self)
         self.dispatch = DispatchMetrics(self)
+        self.sched = SchedMetrics(self)
         self.prefetch = PrefetchMetrics(self)
         self.runtime = RuntimeMetrics(self)
         self.static = StaticScheduleMetrics(self)

@@ -1,0 +1,26 @@
+"""Pluggable dispatch scheduling: the policy protocol and registry.
+
+See :mod:`repro.sched.api` for the :class:`SchedulingPolicy` protocol and
+the name-keyed registry, :mod:`repro.sched.policies` for the built-in
+policies, and :mod:`repro.sched.structure` for deriving
+:class:`StructureHints` from recovered task graphs. ``docs/scheduling.md``
+documents the seam and the policy tournament.
+"""
+
+from repro.sched.api import (
+    SchedulingPolicy,
+    StructureHints,
+    create_policy,
+    policy_names,
+    policy_uses_structure,
+    register_policy,
+)
+
+__all__ = [
+    "SchedulingPolicy",
+    "StructureHints",
+    "create_policy",
+    "policy_names",
+    "policy_uses_structure",
+    "register_policy",
+]

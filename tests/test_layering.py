@@ -72,6 +72,38 @@ class TestRepositoryLayering:
                          or name.startswith("repro.baseline")]
             assert not offending, f"{path.name}: {offending}"
 
+    def test_sched_seam_stays_below_its_consumers(self):
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "sched").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith(("repro.eval",
+                                             "repro.workloads",
+                                             "repro.baseline",
+                                             "repro.cli"))]
+            assert not offending, f"{path.name}: {offending}"
+
+    def test_core_uses_only_the_sched_api(self):
+        # The dispatcher resolves policies through the registry; the
+        # implementations (and hint recovery) stay swappable behind it.
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "core").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith(("repro.sched.policies",
+                                             "repro.sched.structure"))]
+            assert not offending, f"{path.name}: {offending}"
+
+    def test_sched_edges_are_enforced_by_the_checker(self):
+        checker = load_checker()
+        forbidden_pairs = {(src, dst) for src, dst, _ in
+                           checker.FORBIDDEN_EDGES}
+        assert ("repro.sched", "repro.eval") in forbidden_pairs
+        assert ("repro.sched", "repro.workloads") in forbidden_pairs
+        assert ("repro.machine", "repro.sched") in forbidden_pairs
+        assert ("repro.core", "repro.sched.policies") in forbidden_pairs
+        assert ("repro.core", "repro.sched.structure") in forbidden_pairs
+
     def test_graph_edges_are_enforced_by_the_checker(self):
         # The rules themselves, not just today's tree: a core module that
         # imports the IR must be reported.

@@ -9,8 +9,17 @@ The architecture is layered bottom-up::
     repro.machine   (datapath composition + run lifecycle + metrics bus)
     repro.core      (the Delta / TaskStream execution model)
     repro.graph     (the TaskGraph IR: recovered program structure)
+    repro.sched     (scheduling policies: protocol, registry, hints)
     repro.baseline  (alternative execution models on the same machine)
     repro.isa / repro.workloads / repro.eval / repro.cli (top)
+
+The sched layer is deliberately split-level: ``sched.api`` (protocol +
+registry) sits *below* core — the dispatcher resolves its policy from the
+registry — while ``sched.structure`` sits above graph (it digests the IR
+into hints) and ``sched.policies`` holds the implementations. Core may
+therefore use ``sched.api`` only, never the implementations; ``arch``'s
+single lazy registry import (``DispatchConfig`` validation) is the one
+sanctioned down-reference.
 
 This script parses every source file's *runtime* imports (``if
 TYPE_CHECKING:`` blocks are exempt — they never execute) and fails on any
@@ -74,6 +83,27 @@ FORBIDDEN_EDGES: list[tuple[str, str, str]] = [
     ("repro.arch", "repro.graph", "hardware is below the IR"),
     ("repro.machine", "repro.graph", "the machine is below the IR"),
     ("repro.util", "repro.graph", "util is the leaf layer"),
+    # The scheduling seam: layers below the dispatcher never see
+    # policies, and the seam itself never reaches into the harness.
+    ("repro.util", "repro.sched", "util is the leaf layer"),
+    ("repro.sim", "repro.sched", "the event kernel is below the seam"),
+    ("repro.machine", "repro.sched",
+     "the machine hosts execution models; policy choice lives above it"),
+    ("repro.graph", "repro.sched",
+     "the IR is policy-agnostic; sched digests it, not vice versa"),
+    ("repro.sched", "repro.eval", "the seam is below the harness"),
+    ("repro.sched", "repro.workloads",
+     "policies schedule programs, they must not build them"),
+    ("repro.sched", "repro.baseline",
+     "execution models consume policies, not vice versa"),
+    ("repro.sched", "repro.cli", "the seam is below the CLI"),
+    # Core resolves policies through the registry only: the seam's API is
+    # the contract, the implementations stay swappable behind it.
+    ("repro.core", "repro.sched.policies",
+     "core may use the sched API only, never policy implementations"),
+    ("repro.core", "repro.sched.structure",
+     "hint recovery runs above core (twin builds); core only carries "
+     "hints opaquely"),
 ]
 
 
