@@ -8,7 +8,8 @@ Commands:
 - ``compare WORKLOAD``          — Delta vs the static baseline.
 - ``suite``                     — the full evaluation suite (F1 data).
 - ``eval``                      — the suite through the parallel, cached
-  harness (``--jobs``, ``--no-cache``, ``--clear-cache``).
+  harness (``--jobs``, ``--no-cache``, ``--clear-cache``, ``--cache-dir``,
+  ``--cache-max-mb``; both caches share one ``repro.store`` root).
 - ``experiment ID``             — run one experiment (T1..T3, F1..F10, A1).
 - ``show WORKLOAD``             — DOT / ASCII views of a workload's task
   graph and kernels.
@@ -111,10 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="always simulate; do not read or write the "
                              "result cache")
     p_eval.add_argument("--clear-cache", action="store_true",
-                        help="drop every cached result before running")
+                        help="drop every cached entry (comparison AND "
+                             "structure) before running")
     p_eval.add_argument("--cache-dir", metavar="DIR",
-                        help="cache location (default: .repro-cache/ or "
-                             "$REPRO_CACHE_DIR)")
+                        help="store location for both caches (default: "
+                             ".repro-cache/ or $REPRO_CACHE_DIR)")
+    p_eval.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="size cap for the on-disk store; least-"
+                             "recently-used entries are evicted past it "
+                             "(default: $REPRO_CACHE_MAX_MB, else "
+                             "uncapped)")
     p_eval.add_argument("--sanitize", action="store_true",
                         help="run every point with the model sanitizer")
     p_eval.add_argument("--faults", metavar="FILE",
@@ -254,23 +262,30 @@ def _cmd_suite(args) -> int:
 def _cmd_eval(args) -> int:
     import time
 
-    from pathlib import Path
-
     from repro.eval.cache import EvalCache
     from repro.eval.parallel import default_jobs, run_suite_parallel
     from repro.eval.runner import simulation_count
     from repro.graph.cache import StructureCache
+    from repro.machine.metrics import MetricsBus
+    from repro.store import open_store
 
+    # One sharded store serves both caches: shared root, shared size
+    # budget, shared cache.* metrics — and one --clear-cache clears both.
+    bus = MetricsBus()
+    store = open_store(args.cache_dir, max_mb=args.cache_max_mb,
+                       metrics=bus.cache)
+    if args.clear_cache:
+        removed = store.clear_report()
+        total = sum(removed.values())
+        detail = ", ".join(f"{count} {name}"
+                           for name, count in sorted(removed.items()))
+        print(f"cleared {total} cached entr{'y' if total == 1 else 'ies'}"
+              + (f" ({detail})" if detail else ""))
     cache = None
     structure_cache = None
     if not args.no_cache:
-        cache = EvalCache(args.cache_dir) if args.cache_dir else EvalCache()
-        structure_cache = StructureCache(
-            Path(args.cache_dir) / "structure" if args.cache_dir else None)
-        if args.clear_cache:
-            removed = cache.clear()
-            removed += structure_cache.clear()
-            print(f"cleared {removed} cached result(s)")
+        cache = EvalCache(store=store)
+        structure_cache = StructureCache(store=store)
     workloads = None
     if args.workloads:
         workloads = [get_workload(name) for name in args.workloads]
@@ -309,6 +324,16 @@ def _cmd_eval(args) -> int:
         print(cache.stats())
     if structure_cache is not None:
         print(structure_cache.stats())
+    if cache is not None or structure_cache is not None:
+        # Eviction normally runs after writes; a fully-warm run writes
+        # nothing, so enforce a (possibly just-lowered) budget here too.
+        store.evict_to_budget()
+        m = bus.cache
+        print(f"store: {m.hits:.0f} hits / {m.misses:.0f} misses "
+              f"({m.hit_rate() * 100:.0f}% hit rate), "
+              f"{m.coalesced:.0f} coalesced, {m.evictions:.0f} evicted, "
+              f"{m.corrupt:.0f} corrupt dropped, "
+              f"{m.lock_waits:.0f} lock waits")
     return 0
 
 

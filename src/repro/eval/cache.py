@@ -1,4 +1,4 @@
-"""On-disk result cache for the evaluation harness.
+"""The evaluation result cache: a typed schema over :mod:`repro.store`.
 
 A cache entry is one pickled :class:`~repro.eval.runner.Comparison` keyed
 by a stable hash of everything that determines its value:
@@ -16,35 +16,43 @@ This keying is sound because of the determinism contract (see
 :mod:`repro.util.fingerprint`): a point's result is a pure function of the
 key's inputs. Each entry stores its comparison fingerprint alongside the
 payload and is re-verified on load, so a corrupted or tampered entry is
-dropped and recomputed instead of poisoning a sweep.
+discarded and recomputed instead of poisoning a sweep.
+
+Storage — sharding, atomic publish, per-shard locking, the size-cap
+eviction policy, and the ``cache.*`` metrics — is the shared
+:class:`~repro.store.sharded.ShardedStore`'s job; this module only
+defines what an entry *means*: the ``"eval"`` namespace, the pickle
+layout, and fingerprint verification. Entries live under
+``<cache root>/eval/<shard>/<key>.pkl``.
 
 The default cache root is ``.repro-cache/`` at the repository root (next
 to ``pyproject.toml``), or ``~/.cache/repro-eval`` for installed copies;
 ``REPRO_CACHE_DIR`` overrides both. The code-version digest, cache-root
-resolution, and workload identity key are shared with the structure cache
-(:mod:`repro.graph.cache`) and live in :mod:`repro.util.codebase` /
-:mod:`repro.util.fingerprint`; this module re-exports them under their
-historical names.
+resolution, and workload identity key form the store's key model
+(:mod:`repro.store.keys`, primitives in :mod:`repro.util.codebase` /
+:mod:`repro.util.fingerprint`); this module re-exports them under their
+historical names. Direct imports of those names from here are deprecated
+in favour of ``repro.store.keys`` (the shims stay until a major format
+bump).
 """
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
-from repro.util.codebase import (  # noqa: F401  (re-exported compat names)
+from repro.store.keys import (  # noqa: F401  (re-exported compat names)
     code_version,
     default_cache_root,
     digest_tree,
+    entry_key,
     source_files,
-)
-from repro.util.fingerprint import (  # noqa: F401  (re-exported compat name)
-    comparison_fingerprint,
     stable_hash,
     workload_cache_key,
 )
+from repro.store.sharded import ShardedStore
+from repro.util.fingerprint import comparison_fingerprint  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.config import MachineConfig
@@ -52,21 +60,47 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workloads.base import Workload
 
 #: Bump when the entry layout changes; old entries are simply never hit.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
+
+#: The store namespace comparison entries live in.
+NAMESPACE = "eval"
+
+
+def comparison_key(workload: "Workload",
+                   delta_config: "MachineConfig",
+                   static_config: "MachineConfig",
+                   verify: bool = True) -> str:
+    """Cache key for one (workload, machine pair, verify) point.
+
+    Module-level so the parallel executor can coalesce duplicate
+    in-flight points by key even when no cache is attached. Composed from
+    this module's (re-exported) key-model names, so tests can monkeypatch
+    ``code_version`` here to prove invalidation.
+    """
+    return stable_hash(CACHE_FORMAT, code_version(),
+                       workload_cache_key(workload),
+                       delta_config, static_config, verify)
 
 
 class EvalCache:
     """Content-addressed store of evaluation comparisons.
 
-    Tracks ``hits`` / ``misses`` / ``stores`` so callers (CLI, tests) can
-    report cache effectiveness; a corrupted entry counts as a miss.
+    Tracks ``hits`` / ``misses`` / ``stores`` locally so callers (CLI,
+    tests) can report this cache's effectiveness — a corrupted entry
+    counts as a miss — and mirrors every operation onto the shared
+    store's ``cache.*`` metrics sink.
     """
 
-    def __init__(self, root: Optional[Path] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_root()
+    def __init__(self, root: Optional[Path] = None, *,
+                 store: Optional[ShardedStore] = None) -> None:
+        self.store = store if store is not None else ShardedStore(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    @property
+    def root(self) -> Path:
+        return self.store.root
 
     # -- keying ----------------------------------------------------------
 
@@ -75,61 +109,53 @@ class EvalCache:
                 static_config: "MachineConfig",
                 verify: bool = True) -> str:
         """Cache key for one (workload, machine pair, verify) point."""
-        return stable_hash(CACHE_FORMAT, code_version(),
-                           workload_cache_key(workload),
-                           delta_config, static_config, verify)
+        return comparison_key(workload, delta_config, static_config, verify)
 
     def _path(self, key: str) -> Path:
-        return self.root / f"{key}.pkl"
+        return self.store.path_for(NAMESPACE, key)
 
     # -- storage ---------------------------------------------------------
 
     def get(self, key: str) -> Optional["Comparison"]:
         """Load an entry, or None on miss/corruption (entry then dropped)."""
-        path = self._path(key)
+        payload = self.store.read(NAMESPACE, key)
+        if payload is None:
+            self._miss()
+            return None
         try:
-            with path.open("rb") as handle:
-                entry = pickle.load(handle)
+            entry = pickle.loads(payload)
             comparison = entry["comparison"]
             if entry["fingerprint"] != comparison_fingerprint(comparison):
                 raise ValueError("fingerprint mismatch")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Truncated pickle, foreign object, failed fingerprint: drop the
-            # entry and let the caller recompute.
-            path.unlink(missing_ok=True)
-            self.misses += 1
+        except Exception as exc:
+            # Truncated pickle, foreign object, failed fingerprint: discard
+            # the entry and let the caller recompute.
+            self.store.discard_corrupt(NAMESPACE, key, repr(exc))
+            self._miss()
             return None
         self.hits += 1
+        self.store.metrics.add("hits")
         return comparison
 
+    def _miss(self) -> None:
+        self.misses += 1
+        self.store.metrics.add("misses")
+
     def put(self, key: str, comparison: "Comparison") -> None:
-        """Store an entry atomically (rename over a temp file)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        payload = {"fingerprint": comparison_fingerprint(comparison),
-                   "comparison": comparison}
-        with tmp.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        """Store an entry (atomic publish + size-budget enforcement)."""
+        payload = pickle.dumps(
+            {"fingerprint": comparison_fingerprint(comparison),
+             "comparison": comparison},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self.store.write(NAMESPACE, key, payload)
         self.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
-                path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        """Delete every comparison entry; returns how many were removed."""
+        return self.store.clear(NAMESPACE)
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.pkl"))
+        return self.store.entry_count(NAMESPACE)
 
     def stats(self) -> str:
         """One-line hit/miss summary for CLI output."""

@@ -6,10 +6,14 @@ suite fans ``compare()`` calls out over ``multiprocessing`` workers:
 
 1. resolve each point against the on-disk :class:`~repro.eval.cache
    .EvalCache` (when one is given) — warm sweeps run zero simulations;
-2. submit the misses to a process pool (``--jobs`` workers, default
-   ``os.cpu_count()``), each worker re-running the exact serial
+2. coalesce identical in-flight points: duplicates of a key already in
+   this batch are never submitted — the leader's result fans out to them
+   (the synchronous twin of :class:`repro.store.coalesce.Coalescer`,
+   counted as ``cache.coalesced``);
+3. submit the remaining misses to a process pool (``--jobs`` workers,
+   default ``os.cpu_count()``), each worker re-running the exact serial
    ``compare()`` path;
-3. any per-point failure — pickling, a per-point timeout, a crashed
+4. any per-point failure — pickling, a per-point timeout, a crashed
    worker, pool creation itself — falls back to recomputing that point
    serially in the parent, so the parallel path can only ever be a
    speedup, never a behaviour change.
@@ -33,7 +37,7 @@ from repro.arch.config import (
     default_baseline_config,
     default_delta_config,
 )
-from repro.eval.cache import EvalCache
+from repro.eval.cache import EvalCache, comparison_key
 from repro.workloads import all_workloads
 from repro.workloads.base import Workload
 
@@ -208,13 +212,18 @@ def run_suite_parallel(lanes: int = 8,
 
     Returns one :class:`Comparison` per workload, in input order,
     field-identical to the serial path. With a warm ``cache`` every point
-    is served from disk and no simulation runs at all. ``sanitize`` (or a
+    is served from disk and no simulation runs at all. Identical in-flight
+    points (same workload identity, configs, and verify flag) are
+    coalesced: the key's first occurrence computes, duplicates share its
+    result — bit-identical by the determinism contract, and exactly one
+    computation per distinct key reaches the pool. ``sanitize`` (or a
     ``delta_config`` with ``sanitize`` set) runs both machines of every
     point under the model sanitizer; ``faults`` injects a
     :class:`~repro.sim.faults.FaultPlan` into both machines of every point.
     ``outcomes``, when given, is filled with one per-workload entry:
-    ``"cached"``, or the :func:`run_points` outcome (``"ok"`` /
-    ``"recovered"`` / ``"recovered-after-timeout"``).
+    ``"cached"``, ``"coalesced"`` (shared a duplicate's computation), or
+    the :func:`run_points` outcome (``"ok"`` / ``"recovered"`` /
+    ``"recovered-after-timeout"``).
     """
     workloads = list(workloads) if workloads is not None else all_workloads()
     delta_config = delta_config or default_delta_config(lanes=lanes)
@@ -233,17 +242,25 @@ def run_suite_parallel(lanes: int = 8,
     if outcomes is not None:
         outcomes[:] = ["cached"] * len(workloads)
     pending: list[tuple[int, str, PointSpec]] = []
+    # The keyed in-flight map: key -> indices that share the leader's
+    # result instead of being submitted themselves.
+    followers: dict[str, list[int]] = {}
     for index, workload in enumerate(workloads):
         spec: PointSpec = (workload, delta_config, static_config, verify)
+        key = comparison_key(workload, delta_config, static_config, verify)
+        if key in followers:
+            # The key is already in flight in this batch; a cache lookup
+            # cannot hit (its leader just missed), so join the leader.
+            followers[key].append(index)
+            if cache is not None:
+                cache.store.metrics.add("coalesced")
+            continue
         if cache is not None:
-            key = cache.key_for(workload, delta_config, static_config,
-                                verify)
             hit = cache.get(key)
             if hit is not None:
                 results[index] = hit
                 continue
-        else:
-            key = ""
+        followers[key] = []
         pending.append((index, key, spec))
 
     point_outcomes: list = []
@@ -255,6 +272,10 @@ def run_suite_parallel(lanes: int = 8,
         results[index] = comparison
         if outcomes is not None:
             outcomes[index] = outcome
+        for duplicate in followers[key]:
+            results[duplicate] = comparison
+            if outcomes is not None:
+                outcomes[duplicate] = "coalesced"
         if cache is not None:
             cache.put(key, comparison)
     return results

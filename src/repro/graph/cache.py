@@ -1,38 +1,48 @@
-"""On-disk structure cache: recovered program structure, keyed like results.
+"""The structure cache: recovered program structure over :mod:`repro.store`.
 
 Recovering structure means elaborating the whole program — every kernel
 runs. For the evaluation suite that cost is paid per (workload, experiment)
 point even though the structure depends only on the workload and the code
-version. This cache stores the picklable :class:`StructureSummary` under
-exactly the contract of :class:`repro.eval.cache.EvalCache`:
+version. This cache stores the picklable :class:`StructureSummary` as a
+typed schema over the shared sharded store, under exactly the contract of
+:class:`repro.eval.cache.EvalCache`:
 
 - keyed by ``stable_hash(format, code_version(), workload_cache_key(w))``
   — any edit to any ``repro`` source file (including ``repro/graph/``
   itself) invalidates every entry;
 - each entry stores a fingerprint alongside the payload and is re-verified
-  on load, so corruption is dropped and recomputed, never served;
-- entries live in a ``structure/`` subdirectory of the shared cache root,
-  so the result cache's ``clear()``/``len()`` (which glob the root) and
-  this cache never touch each other's files.
+  on load, so corruption is discarded and recomputed, never served;
+- entries live in the ``"structure"`` namespace of the shared store
+  (``<cache root>/structure/<shard>/<key>.pkl``), so the result cache and
+  this cache share the root, the size budget, and the ``cache.*`` metrics
+  sink without ever touching each other's files.
+
+Within one process, :func:`structure_summary` additionally coalesces
+concurrent recoveries of the same key (one kernel elaboration per
+in-flight workload), and across processes the store's ``get_or_compute``
+shard lock suppresses duplicate computes.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.graph.analyses import StructureSummary, summarize
 from repro.graph.ir import recover_structure
-from repro.util.codebase import code_version, default_cache_root
-from repro.util.fingerprint import stable_hash, workload_cache_key
+from repro.store.coalesce import Coalescer
+from repro.store.keys import code_version, stable_hash, workload_cache_key
+from repro.store.sharded import ShardedStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workloads.base import Workload
 
 #: Bump when StructureSummary's layout changes; old entries are never hit.
-STRUCTURE_FORMAT = 1
+STRUCTURE_FORMAT = 2
+
+#: The store namespace structure entries live in.
+NAMESPACE = "structure"
 
 
 def _summary_fingerprint(summary: StructureSummary) -> str:
@@ -42,13 +52,17 @@ def _summary_fingerprint(summary: StructureSummary) -> str:
 class StructureCache:
     """Content-addressed store of :class:`StructureSummary` payloads."""
 
-    def __init__(self, root: Optional[Path] = None) -> None:
-        if root is None:
-            root = default_cache_root() / "structure"
-        self.root = Path(root)
+    def __init__(self, root: Optional[Path] = None, *,
+                 store: Optional[ShardedStore] = None) -> None:
+        self.store = store if store is not None else ShardedStore(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    @property
+    def root(self) -> Path:
+        """The namespace directory structure entries live under."""
+        return self.store.root / NAMESPACE
 
     # -- keying ----------------------------------------------------------
 
@@ -58,62 +72,61 @@ class StructureCache:
                            workload_cache_key(workload))
 
     def _path(self, key: str) -> Path:
-        return self.root / f"{key}.pkl"
+        return self.store.path_for(NAMESPACE, key)
 
     # -- storage ---------------------------------------------------------
 
     def get(self, key: str) -> Optional[StructureSummary]:
         """Load an entry, or None on miss/corruption (entry then dropped)."""
-        path = self._path(key)
+        payload = self.store.read(NAMESPACE, key)
+        if payload is None:
+            self._miss()
+            return None
         try:
-            with path.open("rb") as handle:
-                entry = pickle.load(handle)
+            entry = pickle.loads(payload)
             summary = entry["summary"]
             if entry["fingerprint"] != _summary_fingerprint(summary):
                 raise ValueError("fingerprint mismatch")
             if not isinstance(summary, StructureSummary):
                 raise TypeError("not a StructureSummary")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            path.unlink(missing_ok=True)
-            self.misses += 1
+        except Exception as exc:
+            self.store.discard_corrupt(NAMESPACE, key, repr(exc))
+            self._miss()
             return None
         self.hits += 1
+        self.store.metrics.add("hits")
         return summary
 
+    def _miss(self) -> None:
+        self.misses += 1
+        self.store.metrics.add("misses")
+
     def put(self, key: str, summary: StructureSummary) -> None:
-        """Store an entry atomically (rename over a temp file)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        payload = {"fingerprint": _summary_fingerprint(summary),
-                   "summary": summary}
-        with tmp.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        """Store an entry (atomic publish + size-budget enforcement)."""
+        payload = pickle.dumps(
+            {"fingerprint": _summary_fingerprint(summary),
+             "summary": summary},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self.store.write(NAMESPACE, key, payload)
         self.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
-                path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        """Delete every structure entry; returns how many were removed."""
+        return self.store.clear(NAMESPACE)
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.pkl"))
+        return self.store.entry_count(NAMESPACE)
 
     def stats(self) -> str:
         """One-line hit/miss summary for CLI output."""
         return (f"structure cache {self.root}: {self.hits} hits, "
                 f"{self.misses} misses, {self.stores} stored, "
                 f"{len(self)} entries")
+
+
+#: Process-wide single-flight map: concurrent structure_summary() calls
+#: for the same key (threads in a future server) elaborate kernels once.
+_COALESCER = Coalescer()
 
 
 def structure_summary(workload: "Workload",
@@ -124,13 +137,19 @@ def structure_summary(workload: "Workload",
     With no cache the workload's program is built and elaborated fresh.
     With a cache, a warm entry skips both program construction *and*
     kernel re-expansion entirely — the wall-clock win recorded in
-    EXPERIMENTS.md.
+    EXPERIMENTS.md. Cache misses are coalesced per process (and, via the
+    store's shard lock, per host), so identical in-flight recoveries run
+    once.
     """
     if cache is None:
         return summarize(recover_structure(workload.build_program()))
+
+    def compute() -> StructureSummary:
+        summary = cache.get(key)
+        if summary is None:
+            summary = summarize(recover_structure(workload.build_program()))
+            cache.put(key, summary)
+        return summary
+
     key = cache.key_for(workload)
-    summary = cache.get(key)
-    if summary is None:
-        summary = summarize(recover_structure(workload.build_program()))
-        cache.put(key, summary)
-    return summary
+    return _COALESCER.run(key, compute)

@@ -185,6 +185,36 @@ class SchedMetrics(CounterGroup):
         "Dispatches where a higher-priority task had no eligible lane.")
 
 
+class CacheMetrics(CounterGroup):
+    """On-disk store effectiveness (written by the :mod:`repro.store` layer).
+
+    Harness-side by construction: these counters are written by the
+    process driving a sweep (the CLI hands its bus's ``cache`` group to
+    the store), never by a simulated machine, so run fingerprints and the
+    golden files cannot see them.
+    """
+
+    prefix = "cache"
+    hits = metric("hits", "Entries served (schema fingerprint verified).")
+    misses = metric("misses", "Entries absent (corrupt entries count too).")
+    stores = metric("stores", "Entries published to the store.")
+    evictions = metric(
+        "evictions", "Entries removed by the size-cap eviction policy.")
+    evicted_bytes = metric("evicted_bytes", "Bytes reclaimed by eviction.")
+    coalesced = metric(
+        "coalesced",
+        "Callers that joined an identical in-flight computation.")
+    corrupt = metric(
+        "corrupt", "Truncated/garbage/tampered entries discarded on load.")
+    lock_waits = metric(
+        "lock_waits", "Shard-lock acquisitions that had to block.")
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0 when none ran)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
 class PrefetchMetrics(CounterGroup):
     """The prefetch extension (double buffering of private reads)."""
 
@@ -310,6 +340,7 @@ class MetricsBus(Counters):
         self.pipe = PipelineMetrics(self)
         self.dispatch = DispatchMetrics(self)
         self.sched = SchedMetrics(self)
+        self.cache = CacheMetrics(self)
         self.prefetch = PrefetchMetrics(self)
         self.runtime = RuntimeMetrics(self)
         self.static = StaticScheduleMetrics(self)

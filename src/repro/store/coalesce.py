@@ -1,0 +1,71 @@
+"""In-process request coalescing: one computation per in-flight key.
+
+A sweep (or, later, the ``repro serve`` front-end) can receive the same
+point twice while the first computation is still running. The cache only
+helps once a result is *published*; the :class:`Coalescer` closes the
+in-flight window: the first caller of a key becomes the leader and
+computes, every concurrent caller of the same key blocks on the leader's
+future and shares its result (or its exception). When the leader
+finishes, the key leaves the in-flight map — completed results are the
+cache's job, not this class's.
+
+Thread-safe; single-threaded callers pay one dict lookup. The process
+pool in :mod:`repro.eval.parallel` coalesces by key-deduplicating its
+submission batch (same policy, synchronous shape); the ``coalesced``
+metric means the same thing in both: a caller that did not compute.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, TypeVar
+
+from repro.store.metrics import NULL_METRICS
+
+T = TypeVar("T")
+
+
+class Coalescer:
+    """Keyed single-flight execution over any callable."""
+
+    def __init__(self, metrics=NULL_METRICS) -> None:
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+
+    def run(self, key: str, compute: Callable[[], T]) -> T:
+        """Compute ``key`` once across concurrent callers.
+
+        The leader runs ``compute()``; followers arriving while it runs
+        count one ``coalesced`` metric each and receive the leader's
+        result — or its exception, re-raised in every follower, so a
+        failed computation is not silently retried by the pack.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is None:
+                future = Future()
+                self._inflight[key] = future
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            self.metrics.add("coalesced")
+            return future.result()
+        try:
+            result = compute()
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        else:
+            future.set_result(result)
+            return result
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def inflight(self) -> int:
+        """How many keys are being computed right now."""
+        with self._lock:
+            return len(self._inflight)

@@ -1,0 +1,68 @@
+"""The store's key model: what identifies an entry, and where entries live.
+
+Every schema over the store keys entries the same way::
+
+    entry_key(SCHEMA_FORMAT, <payload identity parts...>)
+        = stable_hash(SCHEMA_FORMAT, code_version(), *parts)
+
+- the **schema format** version, so a layout change never hits old
+  entries;
+- the **code version** — a digest of every ``repro`` source file — so any
+  edit to the simulator, the workloads, or the harness invalidates every
+  entry rather than silently serving stale numbers;
+- the schema's own identity parts (workload identity, machine configs,
+  flags).
+
+The key is a SHA-256 hex digest; :class:`~repro.store.sharded
+.ShardedStore` shards it by prefix into subdirectories.
+
+The primitives live in :mod:`repro.util` (below this package — the store
+imports only util); this module is the single front door cache schemas
+import them through. The historical homes (``repro.util.codebase``,
+``repro.util.fingerprint``) keep their definitions, so direct imports
+keep working.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.util.codebase import (  # noqa: F401  (re-exported: the key model)
+    code_version,
+    default_cache_root,
+    digest_tree,
+    source_files,
+)
+from repro.util.fingerprint import (  # noqa: F401  (re-exported: the key model)
+    stable_hash,
+    workload_cache_key,
+)
+
+#: Environment override for the store-wide size cap, in megabytes.
+BUDGET_ENV = "REPRO_CACHE_MAX_MB"
+
+
+def entry_key(schema_format: int, *parts: object) -> str:
+    """Canonical entry key: schema format + code version + identity parts."""
+    return stable_hash(schema_format, code_version(), *parts)
+
+
+def cache_budget_bytes(max_mb: Optional[float] = None) -> Optional[int]:
+    """Resolve the store size cap to bytes.
+
+    An explicit ``max_mb`` (e.g. from ``--cache-max-mb``) wins; otherwise
+    the ``REPRO_CACHE_MAX_MB`` environment variable applies; otherwise the
+    store is uncapped (None). A value <= 0 means explicitly uncapped.
+    """
+    if max_mb is None:
+        env = os.environ.get(BUDGET_ENV, "").strip()
+        if not env:
+            return None
+        try:
+            max_mb = float(env)
+        except ValueError:
+            return None
+    if max_mb is None or max_mb <= 0:
+        return None
+    return int(max_mb * 1024 * 1024)

@@ -1,0 +1,80 @@
+"""Per-shard advisory file locks.
+
+Concurrent processes share the store through the filesystem, and the
+atomic write-temp-then-rename publish already guarantees readers never
+see a torn entry. The locks close the remaining windows: two writers
+publishing into one shard (temp-file churn), eviction racing a publish,
+and :meth:`~repro.store.sharded.ShardedStore.get_or_compute` callers
+double-computing an expensive entry another process is already writing.
+
+Locks are ``fcntl.flock`` on a ``.lock`` file per shard directory —
+advisory, crash-safe (the OS drops them with the process, so no stale
+lock files survive a kill), and cheap: the uncontended path is one
+non-blocking ``flock`` call. A contended acquisition counts one
+``lock_waits`` metric, then blocks. On platforms without ``fcntl`` the
+lock degrades to a no-op — the rename publish keeps single-entry
+operations safe, only cross-process double-compute suppression is lost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+try:  # POSIX; on other platforms the lock degrades to a no-op.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from repro.store.metrics import NULL_METRICS
+
+#: Name of the lock file inside each shard directory.
+LOCK_FILENAME = ".lock"
+
+
+class ShardLock:
+    """Advisory exclusive lock over one shard directory (a context manager).
+
+    Reentrant within a single instance is *not* supported — hold at most
+    one ``with`` per instance at a time. Distinct instances (even in one
+    process) contend with each other, which is exactly what the
+    double-compute suppression needs.
+    """
+
+    def __init__(self, shard_dir: Path, metrics=NULL_METRICS) -> None:
+        self.path = Path(shard_dir) / LOCK_FILENAME
+        self.metrics = metrics
+        self._fd: int | None = None
+        #: True when the last acquisition had to block on another holder.
+        self.contended = False
+
+    def acquire(self) -> None:
+        self.contended = False
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            # Someone else holds the shard: record the wait, then block.
+            self.contended = True
+            self.metrics.add("lock_waits")
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "ShardLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -1,0 +1,65 @@
+"""Counter sinks for store observability.
+
+The store layer sits below :mod:`repro.machine`, so it cannot import the
+:class:`~repro.machine.metrics.MetricsBus` it ultimately reports through.
+Instead every :class:`~repro.store.sharded.ShardedStore` takes any object
+with ``add(name, amount=1)`` / ``get(name)`` — a ``CounterGroup`` from a
+bus qualifies, as does the dependency-free :class:`StoreMetrics` default
+here. The harness passes ``MetricsBus().cache`` so store activity shows
+up as ``cache.*`` counters in ``repro eval`` summaries; library callers
+that pass nothing still get working local counts for ``stats()`` lines.
+
+These counters are harness-side: they are written by the process driving
+the sweep, never by a simulated machine, so run fingerprints and the
+golden files are unaffected by construction.
+"""
+
+from __future__ import annotations
+
+#: Counter names the store layer writes (mirrored by the typed
+#: ``CacheMetrics`` group in repro.machine.metrics).
+METRIC_NAMES = (
+    "hits",           # entries served (schema fingerprint verified)
+    "misses",         # absent entries (corrupt entries also count a miss)
+    "stores",         # entries published
+    "evictions",      # entries removed by the size-cap policy
+    "evicted_bytes",  # bytes reclaimed by eviction
+    "coalesced",      # callers that joined an in-flight computation
+    "corrupt",        # truncated/garbage/tampered entries discarded
+    "lock_waits",     # shard-lock acquisitions that had to block
+)
+
+
+class StoreMetrics:
+    """Plain dict-backed counter sink (the default when no bus is given)."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"<StoreMetrics {self._values!r}>"
+
+
+class _NullMetrics:
+    """Swallows everything; for callers that want zero accounting cost."""
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return default
+
+    def as_dict(self) -> dict[str, float]:
+        return {}
+
+
+NULL_METRICS = _NullMetrics()

@@ -381,7 +381,8 @@ class TestStructureCache:
         cache = StructureCache(tmp_path)
         workload = get_workload("micro-uniform")
         structure_summary(workload, cache=cache)
-        (entry,) = tmp_path.glob("*.pkl")
+        # Entries are sharded: <root>/structure/<digest prefix>/<key>.pkl.
+        (entry,) = tmp_path.rglob("*.pkl")
         entry.write_bytes(b"not a pickle")
         summary = structure_summary(workload, cache=cache)
         assert cache.misses == 2  # cold miss + corruption miss
@@ -391,7 +392,9 @@ class TestStructureCache:
     def test_foreign_payload_rejected(self, tmp_path):
         cache = StructureCache(tmp_path)
         key = "0" * 16
-        (tmp_path / f"{key}.pkl").write_bytes(
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
             pickle.dumps({"fingerprint": "x", "summary": ["not-a-summary"]}))
         assert cache.get(key) is None
 

@@ -104,6 +104,44 @@ class TestRepositoryLayering:
         assert ("repro.core", "repro.sched.policies") in forbidden_pairs
         assert ("repro.core", "repro.sched.structure") in forbidden_pairs
 
+    def test_store_imports_util_only(self):
+        # The store is the cache substrate: one layer above util, below
+        # everything that simulates. Any repro import other than util
+        # (or the store package itself) is an inversion.
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "store").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith("repro.")
+                         and not name.startswith(("repro.util",
+                                                  "repro.store"))]
+            assert not offending, f"{path.name}: {offending}"
+
+    def test_simulation_stack_does_not_know_results_are_cached(self):
+        # Caching above, simulating below: the machine being evaluated
+        # must never observe (or perturb) the harness's cache.
+        checker = load_checker()
+        for layer in ("sim", "arch", "machine", "core", "baseline"):
+            for path in (SRC_ROOT / "repro" / layer).glob("*.py"):
+                imports = checker.runtime_imports(
+                    ast.parse(path.read_text()))
+                offending = [name for name in imports
+                             if name.startswith("repro.store")]
+                assert not offending, f"{layer}/{path.name}: {offending}"
+
+    def test_store_edges_are_enforced_by_the_checker(self):
+        checker = load_checker()
+        forbidden_pairs = {(src, dst) for src, dst, _ in
+                           checker.FORBIDDEN_EDGES}
+        # The store reaches nothing above util...
+        for target in ("sim", "arch", "machine", "core", "graph",
+                       "eval", "cli"):
+            assert ("repro.store", f"repro.{target}") in forbidden_pairs
+        # ...and the simulation stack never reaches the store.
+        for source in ("util", "sim", "arch", "machine", "core",
+                       "baseline", "workloads"):
+            assert (f"repro.{source}", "repro.store") in forbidden_pairs
+
     def test_graph_edges_are_enforced_by_the_checker(self):
         # The rules themselves, not just today's tree: a core module that
         # imports the IR must be reported.

@@ -113,7 +113,8 @@ class TestEvalCache:
         cache = EvalCache(tmp_path)
         cold = run_suite_parallel(lanes=LANES, workloads=fast_workloads(),
                                   jobs=1, cache=cache)
-        for entry in tmp_path.glob("*.pkl"):
+        # Entries are sharded: <root>/eval/<digest prefix>/<key>.pkl.
+        for entry in tmp_path.rglob("*.pkl"):
             entry.write_bytes(b"not a pickle")
         before = simulation_count()
         recomputed = run_suite_parallel(lanes=LANES,
@@ -133,7 +134,7 @@ class TestEvalCache:
                                         jobs=1, cache=cache)[0]
         # Valid pickle, wrong contents: the stored fingerprint no longer
         # matches, so the entry must be dropped, not served.
-        path = tmp_path / f"{key}.pkl"
+        path = cache._path(key)
         entry = pickle.loads(path.read_bytes())
         entry["comparison"].delta.cycles += 1
         path.write_bytes(pickle.dumps(entry))

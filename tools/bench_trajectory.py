@@ -127,6 +127,70 @@ def measure_matrix(engine_choice: str, lanes: int = 8,
     return best
 
 
+#: The warm-cache measurement subset: two fast workloads are enough to
+#: time the serve-from-disk path against the simulate path.
+STORE_WORKLOADS = ("micro-skewed", "micro-shared")
+
+
+def measure_store(lanes: int = 8,
+                  workloads: Sequence[str] = STORE_WORKLOADS) -> dict:
+    """Warm-cache effectiveness and eviction behavior of the unified store.
+
+    A cold sweep fills a throwaway store, a warm sweep must be served
+    entirely from it (hit rate 1.0), and then the size cap is pulled
+    below the store's footprint to prove the eviction policy actually
+    reclaims space — all observed through the same ``cache.*`` MetricsBus
+    counters ``repro eval`` reports.
+    """
+    import tempfile
+
+    from repro.eval.cache import EvalCache
+    from repro.eval.parallel import run_suite_parallel
+    from repro.machine.metrics import MetricsBus
+    from repro.store import ShardedStore
+    from repro.workloads.registry import get_workload
+
+    def points():
+        return [get_workload(name) for name in workloads]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        bus = MetricsBus()
+        cache = EvalCache(store=ShardedStore(Path(tmp), max_bytes=None,
+                                             metrics=bus.cache))
+        t0 = time.perf_counter()
+        run_suite_parallel(lanes=lanes, workloads=points(), jobs=1,
+                           cache=cache, verify=False)
+        cold_s = time.perf_counter() - t0
+        cold_hits, cold_misses = bus.cache.hits, bus.cache.misses
+        t0 = time.perf_counter()
+        run_suite_parallel(lanes=lanes, workloads=points(), jobs=1,
+                           cache=cache, verify=False)
+        warm_s = time.perf_counter() - t0
+        warm_hits = bus.cache.hits - cold_hits
+        warm_lookups = warm_hits + (bus.cache.misses - cold_misses)
+        footprint = cache.store.total_bytes()
+        # Pull the cap below the footprint: the policy must evict back
+        # under budget (and the counters must say so).
+        cache.store.max_bytes = max(1, footprint // 2)
+        evicted = cache.store.evict_to_budget()
+        return {
+            "workloads": list(workloads),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s else 0.0,
+            "warm_hit_rate": round(warm_hits / warm_lookups, 3)
+            if warm_lookups else 0.0,
+            "footprint_bytes": footprint,
+            "eviction": {
+                "budget_bytes": cache.store.max_bytes,
+                "evicted_entries": evicted,
+                "evicted_bytes": round(bus.cache.evicted_bytes),
+                "within_budget":
+                    cache.store.total_bytes() <= cache.store.max_bytes,
+            },
+        }
+
+
 def build_payload(bench_id: int, lanes: int = 8,
                   workloads: Optional[Sequence[str]] = None,
                   jobs: Optional[int] = None) -> dict:
@@ -156,6 +220,9 @@ def build_payload(bench_id: int, lanes: int = 8,
         # like-for-like).
         "pinned": measure_matrix("fast", PINNED_LANES, PINNED_WORKLOADS,
                                  rounds=3),
+        # Warm-cache hit rate + eviction behavior of the unified store
+        # (informational — the CI gate reads the sections above).
+        "store": measure_store(lanes),
     }
     resolved = resolve_jobs(jobs)
     if resolved > 1:

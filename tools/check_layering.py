@@ -4,6 +4,7 @@
 The architecture is layered bottom-up::
 
     repro.util      (leaf helpers)
+    repro.store     (the on-disk cache substrate; imports util ONLY)
     repro.sim       (discrete-event kernel)
     repro.arch      (hardware component models)
     repro.machine   (datapath composition + run lifecycle + metrics bus)
@@ -12,6 +13,12 @@ The architecture is layered bottom-up::
     repro.sched     (scheduling policies: protocol, registry, hints)
     repro.baseline  (alternative execution models on the same machine)
     repro.isa / repro.workloads / repro.eval / repro.cli (top)
+
+The store layer is deliberately narrow: it sits just above util and
+below everything that simulates. Only the cache schemas (``eval`` and
+``graph``) and the CLI consume it; the simulation stack (``sim`` /
+``arch`` / ``machine`` / ``core``) must never know results are cached —
+caching above, simulating below.
 
 The sched layer is deliberately split-level: ``sched.api`` (protocol +
 registry) sits *below* core — the dispatcher resolves its policy from the
@@ -104,6 +111,36 @@ FORBIDDEN_EDGES: list[tuple[str, str, str]] = [
     ("repro.core", "repro.sched.structure",
      "hint recovery runs above core (twin builds); core only carries "
      "hints opaquely"),
+    # The store layer: util < store < everything that caches. The store
+    # imports only util; of the layers below the harness, only the cache
+    # schemas (eval/cache.py, graph/cache.py) and the CLI consume it —
+    # the simulation stack must never know results are cached.
+    ("repro.store", "repro.sim", "the store imports util only"),
+    ("repro.store", "repro.arch", "the store imports util only"),
+    ("repro.store", "repro.machine", "the store imports util only"),
+    ("repro.store", "repro.core", "the store imports util only"),
+    ("repro.store", "repro.graph", "the store imports util only"),
+    ("repro.store", "repro.sched", "the store imports util only"),
+    ("repro.store", "repro.baseline", "the store imports util only"),
+    ("repro.store", "repro.isa", "the store imports util only"),
+    ("repro.store", "repro.workloads", "the store imports util only"),
+    ("repro.store", "repro.eval", "the store imports util only"),
+    ("repro.store", "repro.cli", "the store imports util only"),
+    ("repro.util", "repro.store", "util is the leaf layer"),
+    ("repro.sim", "repro.store",
+     "the event kernel must not know results are cached"),
+    ("repro.arch", "repro.store",
+     "hardware models must not know results are cached"),
+    ("repro.machine", "repro.store",
+     "the machine layer must not know results are cached"),
+    ("repro.core", "repro.store",
+     "execution models must not know results are cached"),
+    ("repro.baseline", "repro.store",
+     "execution models must not know results are cached"),
+    ("repro.sched", "repro.store",
+     "policies schedule tasks; caching lives in the schemas above"),
+    ("repro.workloads", "repro.store",
+     "workloads build programs; caching lives in the harness above"),
 ]
 
 
