@@ -13,6 +13,9 @@ Commands:
 - ``experiment ID``             — run one experiment (T1..T3, F1..F10, A1).
 - ``show WORKLOAD``             — DOT / ASCII views of a workload's task
   graph and kernels.
+- ``serve``                     — long-running async sweep server
+  (``POST /jobs``, NDJSON event streams, cancellation, ``/healthz``;
+  see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -138,6 +141,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("experiment_id",
                        help="T1, T2, T3, F1..F10, A1 or R1 "
                             "(case-insensitive)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async multi-tenant sweep server")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8023,
+                         help="TCP port; 0 picks a free one (default 8023)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="worker processes per sweep (default: "
+                              "os.cpu_count())")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-point timeout in seconds; a timed-out "
+                              "point is recomputed serially")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="always simulate; do not read or write the "
+                              "result cache")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         help="store location for caches AND the "
+                              "persistent job queue (default: "
+                              ".repro-cache/ or $REPRO_CACHE_DIR)")
+    p_serve.add_argument("--cache-max-mb", type=float, default=None,
+                         metavar="MB",
+                         help="size cap for the on-disk store")
+    p_serve.add_argument("--max-active-per-tenant", type=int, default=8,
+                         metavar="N",
+                         help="per-tenant quota of queued+running jobs; "
+                              "submissions past it are rejected 429 "
+                              "(default 8)")
+    p_serve.add_argument("--max-concurrent-jobs", type=int, default=2,
+                         metavar="N",
+                         help="jobs executing at once; each fans out its "
+                              "own --jobs worker pool (default 2)")
 
     p_show = sub.add_parser("show", help="render a workload's structure")
     p_show.add_argument("workload")
@@ -367,6 +402,36 @@ def _cmd_policy_matrix(args, workloads, jobs, cache) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.serve import Server
+
+    # asyncio raises OverflowError (not OSError) for an out-of-range
+    # port, which would escape the user-error net as a traceback.
+    if not 0 <= args.port <= 65535:
+        raise ValueError(f"--port must be in 0..65535, got {args.port}")
+    server = Server(host=args.host, port=args.port, root=args.cache_dir,
+                    cache_max_mb=args.cache_max_mb,
+                    no_cache=args.no_cache, jobs=args.jobs,
+                    timeout=args.timeout,
+                    max_active_per_tenant=args.max_active_per_tenant,
+                    max_concurrent_jobs=args.max_concurrent_jobs)
+
+    def announce() -> None:
+        server.ready.wait()
+        print(f"repro serve: listening on "
+              f"http://{server.host}:{server.port} "
+              f"(jobs persist under {server.store.root})", flush=True)
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        server.run()  # returns after SIGINT/SIGTERM → graceful stop
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     eid = args.experiment_id.upper()
     fn = ALL_EXPERIMENTS.get(eid)
@@ -458,6 +523,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": _cmd_suite,
         "eval": _cmd_eval,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
         "show": _cmd_show,
     }
     handler = commands[args.command]

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.arch.config import (
     MachineConfig,
@@ -44,10 +46,53 @@ from repro.workloads.base import Workload
 #: One evaluation point: (workload, delta config, static config, verify).
 PointSpec = tuple  # (Workload, MachineConfig, MachineConfig, bool)
 
+#: Per-point progress callback: ``(index, result_or_None, outcome)``.
+PointCallback = Callable[[int, object, str], None]
+
 
 class PointTimeoutError(RuntimeError):
     """A point blew its per-point budget twice — in the pool *and* in the
     bounded serial recompute — so it is genuinely hung, not just slow."""
+
+
+class _Cancelled(Exception):
+    """Internal: the caller's cancel event fired while a point was pending.
+
+    Never escapes :func:`run_points` — cancelled points are reported with
+    outcome ``"cancelled"`` (result ``None``), not as an exception."""
+
+
+#: How often a cancellable wait re-checks the cancel event, in seconds.
+_CANCEL_POLL_S = 0.05
+
+
+def _await_result(future, timeout: Optional[float],
+                  cancel: Optional[threading.Event]):
+    """Wait on a pool future under an optional budget and cancel event.
+
+    Returns the future's result; raises :class:`FutureTimeoutError` when
+    the budget runs out first, :class:`_Cancelled` when the event fires
+    first. Without a cancel event this is exactly ``future.result``; with
+    one, the wait polls in short slices so cooperative cancellation takes
+    effect within :data:`_CANCEL_POLL_S` rather than after the (possibly
+    unbounded) point finishes.
+    """
+    if cancel is None:
+        return future.result(timeout=timeout)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        if cancel.is_set():
+            raise _Cancelled()
+        slice_s = _CANCEL_POLL_S
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FutureTimeoutError()
+            slice_s = min(slice_s, remaining)
+        try:
+            return future.result(timeout=slice_s)
+        except FutureTimeoutError:
+            continue  # re-check cancel / deadline, then keep waiting
 
 
 def default_jobs() -> int:
@@ -83,11 +128,8 @@ def _compare_point(spec: PointSpec):
     return compare(workload, delta_config, static_config, verify=verify)
 
 
-def _run_points_serial(points: Sequence[PointSpec]) -> list:
-    return [_compare_point(spec) for spec in points]
-
-
-def _recover_point(spec: PointSpec, timeout: Optional[float]):
+def _recover_point(spec: PointSpec, timeout: Optional[float],
+                   cancel: Optional[threading.Event] = None):
     """Recompute one point serially, under the same per-point budget.
 
     Without a budget this is a plain in-process recompute. With one, the
@@ -97,7 +139,15 @@ def _recover_point(spec: PointSpec, timeout: Optional[float]):
     :class:`PointTimeoutError`; any non-timeout failure of the pool
     machinery falls through to the unbounded in-process path so genuine
     simulation errors surface exactly as the serial path raises them.
+
+    ``cancel`` makes the bounded wait cooperative: a cancel event that
+    fires while the recompute is still pending raises :class:`_Cancelled`
+    (the point reports outcome ``"cancelled"``) instead of letting a
+    timeout — or the pool teardown racing the dying worker — escape as an
+    error the caller never asked for.
     """
+    if cancel is not None and cancel.is_set():
+        raise _Cancelled()
     if timeout is None:
         return _compare_point(spec)
     pool = None
@@ -107,7 +157,9 @@ def _recover_point(spec: PointSpec, timeout: Optional[float]):
             else "spawn")
         pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
         future = pool.submit(_compare_point, spec)
-        return future.result(timeout=timeout)
+        return _await_result(future, timeout, cancel)
+    except _Cancelled:
+        raise
     except FutureTimeoutError:
         workload = spec[0]
         raise PointTimeoutError(
@@ -115,6 +167,10 @@ def _recover_point(spec: PointSpec, timeout: Optional[float]):
             f"budget in the worker pool and again in the serial recompute"
         ) from None
     except Exception:
+        if cancel is not None and cancel.is_set():
+            # The teardown of a cancelled pool can surface as a broken
+            # future; cancellation wins over any such secondary error.
+            raise _Cancelled() from None
         return _compare_point(spec)
     finally:
         if pool is not None:
@@ -124,7 +180,9 @@ def _recover_point(spec: PointSpec, timeout: Optional[float]):
 def run_points(points: Sequence[PointSpec],
                jobs: int,
                timeout: Optional[float] = None,
-               outcomes: Optional[list] = None) -> list:
+               outcomes: Optional[list] = None,
+               cancel: Optional[threading.Event] = None,
+               on_point: Optional[PointCallback] = None) -> list:
     """Evaluate points, fanning out over ``jobs`` worker processes.
 
     ``timeout`` bounds each point's wall-clock seconds in the pool; a
@@ -135,19 +193,41 @@ def run_points(points: Sequence[PointSpec],
     invalid configuration — therefore surface exactly as the serial path
     would raise them.
 
+    ``cancel`` is a cooperative stop: once the event fires, every point
+    not yet computed — including one mid-recompute after a timeout —
+    resolves to result ``None`` with outcome ``"cancelled"``; nothing is
+    raised. ``on_point(index, result, outcome)`` fires as each point
+    resolves (the streaming seam ``repro serve`` feeds from); a callback
+    exception propagates and aborts the batch.
+
     ``outcomes``, when given, is filled in place with one entry per point:
     ``"ok"`` (computed normally), ``"recovered"`` (serial fallback after a
-    non-timeout failure) or ``"recovered-after-timeout"``.
+    non-timeout failure), ``"recovered-after-timeout"``, or
+    ``"cancelled"``.
     """
     points = list(points)
+    results: list = [None] * len(points)
     if outcomes is not None:
         outcomes[:] = ["ok"] * len(points)
-    if jobs <= 1 or len(points) <= 1:
-        return _run_points_serial(points)
 
-    results: list = [None] * len(points)
+    def settle(index: int, result, outcome: str) -> None:
+        results[index] = result
+        if outcomes is not None:
+            outcomes[index] = outcome
+        if on_point is not None:
+            on_point(index, result, outcome)
+
+    if jobs <= 1 or len(points) <= 1:
+        for index, spec in enumerate(points):
+            if cancel is not None and cancel.is_set():
+                settle(index, None, "cancelled")
+            else:
+                settle(index, _compare_point(spec), "ok")
+        return results
+
     redo: list[int] = []
     timed_out: set[int] = set()
+    cancelled: set[int] = set()
     pool = None
     try:
         # fork (where available) shares the already-imported simulator;
@@ -160,11 +240,18 @@ def run_points(points: Sequence[PointSpec],
         futures = [pool.submit(_compare_point, spec) for spec in points]
         pool_broken = False
         for index, future in enumerate(futures):
+            if cancel is not None and cancel.is_set():
+                future.cancel()
+                cancelled.add(index)
+                continue
             if pool_broken:
                 redo.append(index)
                 continue
             try:
-                results[index] = future.result(timeout=timeout)
+                settle(index, _await_result(future, timeout, cancel), "ok")
+            except _Cancelled:
+                future.cancel()
+                cancelled.add(index)
             except FutureTimeoutError:
                 future.cancel()
                 timed_out.add(index)
@@ -181,20 +268,26 @@ def run_points(points: Sequence[PointSpec],
     except Exception:
         # Pool creation / submission failed (e.g. unpicklable workload):
         # the whole batch falls back to serial.
-        redo = [i for i, r in enumerate(results) if r is None]
+        redo = [i for i, r in enumerate(results) if r is None
+                and i not in cancelled]
     finally:
         if pool is not None:
             # wait=False: a worker stuck past its timeout must not block
             # the fallback path; its point is recomputed in the parent.
             pool.shutdown(wait=False, cancel_futures=True)
 
+    for index in sorted(cancelled):
+        settle(index, None, "cancelled")
     for index in redo:
         bounded = index in timed_out
-        results[index] = _recover_point(points[index],
-                                        timeout if bounded else None)
-        if outcomes is not None:
-            outcomes[index] = ("recovered-after-timeout" if bounded
-                               else "recovered")
+        try:
+            result = _recover_point(points[index],
+                                    timeout if bounded else None, cancel)
+        except _Cancelled:
+            settle(index, None, "cancelled")
+            continue
+        settle(index, result,
+               "recovered-after-timeout" if bounded else "recovered")
     return results
 
 
@@ -207,7 +300,9 @@ def run_suite_parallel(lanes: int = 8,
                        delta_config: Optional[MachineConfig] = None,
                        sanitize: bool = False,
                        faults=None,
-                       outcomes: Optional[list] = None) -> list:
+                       outcomes: Optional[list] = None,
+                       cancel: Optional[threading.Event] = None,
+                       on_result: Optional[PointCallback] = None) -> list:
     """Parallel, cached equivalent of :func:`repro.eval.runner.run_suite`.
 
     Returns one :class:`Comparison` per workload, in input order,
@@ -221,9 +316,16 @@ def run_suite_parallel(lanes: int = 8,
     point under the model sanitizer; ``faults`` injects a
     :class:`~repro.sim.faults.FaultPlan` into both machines of every point.
     ``outcomes``, when given, is filled with one per-workload entry:
-    ``"cached"``, ``"coalesced"`` (shared a duplicate's computation), or
-    the :func:`run_points` outcome (``"ok"`` / ``"recovered"`` /
-    ``"recovered-after-timeout"``).
+    ``"cached"``, ``"coalesced"`` (shared a duplicate's computation),
+    ``"cancelled"`` (see below), or the :func:`run_points` outcome
+    (``"ok"`` / ``"recovered"`` / ``"recovered-after-timeout"``).
+
+    ``cancel`` stops the sweep cooperatively: every point not yet resolved
+    when the event fires returns ``None`` with outcome ``"cancelled"``
+    (never raised, never cached). ``on_result(index, comparison, outcome)``
+    fires as each point resolves — immediately for cache hits, as the
+    leader lands for in-batch duplicates — which is how ``repro serve``
+    streams incremental per-point results.
     """
     workloads = list(workloads) if workloads is not None else all_workloads()
     delta_config = delta_config or default_delta_config(lanes=lanes)
@@ -241,6 +343,14 @@ def run_suite_parallel(lanes: int = 8,
     results: list = [None] * len(workloads)
     if outcomes is not None:
         outcomes[:] = ["cached"] * len(workloads)
+
+    def settle(index: int, comparison, outcome: str) -> None:
+        results[index] = comparison
+        if outcomes is not None:
+            outcomes[index] = outcome
+        if on_result is not None:
+            on_result(index, comparison, outcome)
+
     pending: list[tuple[int, str, PointSpec]] = []
     # The keyed in-flight map: key -> indices that share the leader's
     # result instead of being submitted themselves.
@@ -258,24 +368,24 @@ def run_suite_parallel(lanes: int = 8,
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
-                results[index] = hit
+                settle(index, hit, "cached")
                 continue
         followers[key] = []
         pending.append((index, key, spec))
 
-    point_outcomes: list = []
-    computed = run_points([spec for _i, _k, spec in pending],
-                          jobs=resolve_jobs(jobs), timeout=timeout,
-                          outcomes=point_outcomes)
-    for (index, key, _spec), comparison, outcome in zip(pending, computed,
-                                                        point_outcomes):
-        results[index] = comparison
-        if outcomes is not None:
-            outcomes[index] = outcome
+    def on_point(pending_index: int, comparison, outcome: str) -> None:
+        # Map the batch index back to the suite index, fan the leader's
+        # result out to its in-batch duplicates, and publish to the cache
+        # — all as the point lands, so callers stream incrementally.
+        index, key, _spec = pending[pending_index]
+        settle(index, comparison, outcome)
         for duplicate in followers[key]:
-            results[duplicate] = comparison
-            if outcomes is not None:
-                outcomes[duplicate] = "coalesced"
-        if cache is not None:
+            settle(duplicate, comparison,
+                   "cancelled" if outcome == "cancelled" else "coalesced")
+        if cache is not None and comparison is not None:
             cache.put(key, comparison)
+
+    run_points([spec for _i, _k, spec in pending],
+               jobs=resolve_jobs(jobs), timeout=timeout,
+               cancel=cancel, on_point=on_point)
     return results

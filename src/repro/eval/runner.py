@@ -153,7 +153,9 @@ def run_suite(lanes: int = 8,
               timeout: Optional[float] = None,
               cache: Optional["EvalCache"] = None,
               sanitize: bool = False,
-              faults: Optional["FaultPlan"] = None) -> list[Comparison]:
+              faults: Optional["FaultPlan"] = None,
+              cancel=None,
+              on_result=None) -> list[Comparison]:
     """Compare every evaluation workload at the given lane count.
 
     ``jobs`` > 1 fans points out over worker processes (``jobs=None``
@@ -163,15 +165,21 @@ def run_suite(lanes: int = 8,
     ``sanitize`` runs every point under the model sanitizer (identical
     results, plus invariant checking); ``faults`` injects the given
     :class:`~repro.sim.faults.FaultPlan` into both machines of every point.
+    ``cancel`` (a ``threading.Event``) stops the sweep cooperatively and
+    ``on_result(index, comparison, outcome)`` streams per-point progress;
+    either one routes through the parallel harness, which owns those
+    semantics.
     """
     from repro.eval.parallel import resolve_jobs, run_suite_parallel
 
     workloads = list(workloads) if workloads is not None else all_workloads()
-    if resolve_jobs(jobs) != 1 or cache is not None:
+    if (resolve_jobs(jobs) != 1 or cache is not None
+            or cancel is not None or on_result is not None):
         return run_suite_parallel(lanes=lanes, workloads=workloads,
                                   jobs=jobs, verify=verify, timeout=timeout,
                                   cache=cache, sanitize=sanitize,
-                                  faults=faults)
+                                  faults=faults, cancel=cancel,
+                                  on_result=on_result)
     delta_config = default_delta_config(lanes=lanes)
     if sanitize:
         delta_config = delta_config.with_sanitize(True)

@@ -215,6 +215,38 @@ class CacheMetrics(CounterGroup):
         return self.hits / lookups if lookups else 0.0
 
 
+class ServeMetrics(CounterGroup):
+    """Sweep-server activity (written by :mod:`repro.serve`).
+
+    Harness-side like ``cache.*``: only the long-running server front-end
+    writes these, never a simulated machine, so run fingerprints and the
+    golden files cannot see them.
+    """
+
+    prefix = "serve"
+    submitted = metric("submitted", "Job submissions accepted or rejected.")
+    started = metric("started", "Jobs claimed off the queue by a worker.")
+    completed = metric("completed", "Jobs that ran to completion.")
+    cancelled = metric("cancelled", "Jobs cancelled (queued or mid-flight).")
+    rejected = metric("rejected", "Submissions refused by a tenant quota.")
+    failed = metric("failed", "Jobs that ended in an error.")
+    replayed = metric(
+        "replayed", "Persisted jobs re-queued after a server restart.")
+    coalesced_sweeps = metric(
+        "coalesced_sweeps",
+        "Jobs that shared another job's identical in-flight sweep.")
+    points = metric("points", "Per-point results streamed to job logs.")
+    queue_wait_s = metric(
+        "queue_wait_s", "Seconds jobs spent queued before starting, total.")
+    stream_stalls = metric(
+        "stream_stalls",
+        "Event-stream writes that found the client's buffer still full.")
+
+    def mean_queue_wait_s(self) -> float:
+        """Average queued-to-started wait (0 when nothing started yet)."""
+        return self.queue_wait_s / self.started if self.started else 0.0
+
+
 class PrefetchMetrics(CounterGroup):
     """The prefetch extension (double buffering of private reads)."""
 
@@ -341,6 +373,7 @@ class MetricsBus(Counters):
         self.dispatch = DispatchMetrics(self)
         self.sched = SchedMetrics(self)
         self.cache = CacheMetrics(self)
+        self.serve = ServeMetrics(self)
         self.prefetch = PrefetchMetrics(self)
         self.runtime = RuntimeMetrics(self)
         self.static = StaticScheduleMetrics(self)

@@ -1,0 +1,325 @@
+"""``repro serve`` — the long-running multi-tenant sweep server.
+
+One :class:`Server` composes the whole subsystem:
+
+- an ``asyncio`` socket front-end (:mod:`repro.serve.http`) exposing
+  ``POST /jobs``, ``GET /jobs/<id>/events`` (NDJSON stream),
+  ``DELETE /jobs/<id>``, and ``GET /healthz``;
+- the persistent :class:`~repro.serve.queue.JobQueue` (jobs survive
+  restarts in the shared store's ``jobs`` namespace; priorities, tenant
+  quotas, fair-share draining);
+- the :class:`~repro.serve.executor.JobExecutor`, which fans each claimed
+  job out through :mod:`repro.eval.parallel` in a small worker-thread
+  pool, coalescing duplicate in-flight sweeps;
+- one :class:`~repro.machine.metrics.MetricsBus` whose ``cache.*`` group
+  is wired into the store/eval-cache and whose ``serve.*`` group counts
+  the server's own activity — both reported by ``/healthz``.
+
+Threading model: the event loop owns every job's event log (worker
+threads publish points via ``call_soon_threadsafe``), the queue is
+internally locked, and job computation happens in worker threads so the
+loop never blocks on a simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Optional
+
+from repro.eval.cache import EvalCache
+from repro.machine.metrics import MetricsBus
+from repro.serve.executor import JobExecutor
+from repro.serve.http import Responder, read_request
+from repro.serve.protocol import ServeError, UnknownJob
+from repro.serve.queue import TERMINAL, Job, JobQueue
+from repro.store import open_store
+
+#: How long an idle scheduler/streamer waits before re-polling, seconds.
+#: Wake events make the common path prompt; the poll is the safety net.
+_POLL_S = 0.1
+
+
+class Server:
+    """The sweep server: queue + executor + HTTP front-end + metrics."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 root: Optional[Path] = None,
+                 cache_max_mb: Optional[float] = None,
+                 no_cache: bool = False,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 max_active_per_tenant: int = 8,
+                 max_concurrent_jobs: int = 2,
+                 start_paused: bool = False) -> None:
+        self.host = host
+        self.port = port
+        self.bus = MetricsBus()
+        self.store = open_store(root, max_mb=cache_max_mb,
+                                metrics=self.bus.cache)
+        self.queue = JobQueue(store=self.store,
+                              max_active_per_tenant=max_active_per_tenant,
+                              metrics=self.bus.serve)
+        self.cache = None if no_cache else EvalCache(store=self.store)
+        self.executor = JobExecutor(self.cache, jobs=jobs, timeout=timeout,
+                                    store_metrics=self.bus.cache,
+                                    serve_metrics=self.bus.serve)
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.start_paused = start_paused
+        #: Set once the socket is bound and ``port`` holds the real port —
+        #: a ``threading.Event`` so background-thread servers are awaitable
+        #: from the launching thread.
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._workers: Optional[ThreadPoolExecutor] = None
+        self._scheduler: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._changed: dict[str, asyncio.Event] = {}
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, replay persisted jobs, start scheduling."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._stop_requested = asyncio.Event()
+        self._workers = ThreadPoolExecutor(
+            max_workers=self.max_concurrent_jobs,
+            thread_name_prefix="repro-serve-job")
+        self.queue.recover()
+        self._server = await asyncio.start_server(self._handle,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if not self.start_paused:
+            self._scheduler = self._loop.create_task(self._schedule_loop())
+        self.ready.set()
+
+    def resume(self) -> None:
+        """Start claiming jobs on a server created ``start_paused`` —
+        thread-safe, so tests drive paused servers from outside the loop."""
+        def _go() -> None:
+            if self._scheduler is None:
+                self._scheduler = self._loop.create_task(
+                    self._schedule_loop())
+        self._loop.call_soon_threadsafe(_go)
+
+    async def stop(self) -> None:
+        """Stop accepting, stop claiming, interrupt running jobs.
+
+        Running jobs get their cancel event but are *not* finished:
+        their persisted state stays ``running``, so the next server's
+        :meth:`~repro.serve.queue.JobQueue.recover` re-queues them —
+        interrupted work is replayed, never lost.
+        """
+        self._stopping = True
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+        for job in self.queue.jobs():
+            if job.state == "running":
+                job.cancel.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._workers is not None:
+            # Worker threads see their cancel events within one poll
+            # slice; cancel_futures covers claims that never started.
+            self._workers.shutdown(wait=True, cancel_futures=True)
+            self._workers = None
+        self.ready.clear()
+
+    def shutdown(self) -> None:
+        """Request a stop from any thread (the test/CLI-facing handle)."""
+        if self._loop is not None and self._stop_requested is not None:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+
+    async def _main(self) -> None:
+        await self.start()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(sig, self._stop_requested.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                break  # not the main thread (tests) or no signal support
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.stop()
+
+    def run(self) -> None:
+        """Blocking entry point: serve until :meth:`shutdown` (or signal).
+
+        This is what a background test thread and ``repro serve`` both
+        call; the CLI additionally installs SIGINT/SIGTERM handlers that
+        call :meth:`shutdown`.
+        """
+        asyncio.run(self._main())
+
+    # -- scheduling ------------------------------------------------------
+
+    async def _schedule_loop(self) -> None:
+        slots = asyncio.Semaphore(self.max_concurrent_jobs)
+        while True:
+            await slots.acquire()
+            job = self.queue.claim_next()
+            while job is None:
+                slots.release()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), _POLL_S)
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+                await slots.acquire()
+                job = self.queue.claim_next()
+            self._notify(job.id)
+            self._loop.create_task(self._run_job(job, slots))
+
+    async def _run_job(self, job: Job, slots: asyncio.Semaphore) -> None:
+        try:
+            def emit(event: dict) -> None:
+                # Worker thread -> loop: the loop owns every event log.
+                self._loop.call_soon_threadsafe(self._publish, job, event)
+
+            state, error = await self._loop.run_in_executor(
+                self._workers, self.executor.run_job, job, emit)
+            if not self._stopping:
+                self.queue.finish(job.id, state, error)
+                self._notify(job.id)
+        finally:
+            slots.release()
+            self._wake.set()
+
+    def _publish(self, job: Job, event: dict) -> None:
+        job.events.append(event)
+        self._notify(job.id)
+
+    def _notify(self, job_id: str) -> None:
+        changed = self._changed.get(job_id)
+        if changed is not None:
+            changed.set()
+
+    # -- HTTP ------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        responder = Responder(writer, metrics=self.bus.serve)
+        try:
+            request = await read_request(reader)
+            if request is not None:
+                await self._route(request, responder)
+        except ServeError as exc:
+            if not responder.started:
+                await responder.send_error(exc)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            if not responder.started:
+                await responder.send_json(
+                    500, {"error": {"code": "internal",
+                                    "message": f"{type(exc).__name__}: "
+                                               f"{exc}"}})
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, request, responder: Responder) -> None:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                raise ServeError("healthz is GET-only",
+                                 code="method-not-allowed")
+            await responder.send_json(200, self.healthz())
+            return
+        if path == "/jobs":
+            if method == "POST":
+                job = self.queue.submit(request.json())
+                self._wake.set()
+                await responder.send_json(
+                    201, {"job": job.id, "state": job.state,
+                          "events": f"/jobs/{job.id}/events"})
+                return
+            if method == "GET":
+                await responder.send_json(
+                    200, {"jobs": [j.to_json() for j in self.queue.jobs()]})
+                return
+            raise ServeError("jobs is GET/POST-only",
+                             code="method-not-allowed")
+        if path.startswith("/jobs/"):
+            parts = path[len("/jobs/"):].split("/")
+            job_id = parts[0]
+            if len(parts) == 2 and parts[1] == "events" and method == "GET":
+                await self._stream_events(job_id, responder)
+                return
+            if len(parts) == 1 and method == "GET":
+                await responder.send_json(200,
+                                          self.queue.get(job_id).to_json())
+                return
+            if len(parts) == 1 and method == "DELETE":
+                job = self.queue.request_cancel(job_id)
+                self._notify(job.id)
+                await responder.send_json(
+                    202, {"job": job.id, "state": job.state,
+                          "cancel_requested": job.cancel_requested})
+                return
+        raise UnknownJob(f"no route {method} {request.path}")
+
+    async def _stream_events(self, job_id: str,
+                             responder: Responder) -> None:
+        """Replay a job's event log, then follow it to the terminal event."""
+        job = self.queue.get(job_id)
+        changed = self._changed.setdefault(job_id, asyncio.Event())
+        await responder.start_stream()
+        cursor = 0
+        while True:
+            while cursor < len(job.events):
+                await responder.send_line(job.events[cursor])
+                cursor += 1
+            if job.state in TERMINAL and cursor >= len(job.events):
+                return
+            try:
+                await asyncio.wait_for(changed.wait(), _POLL_S)
+            except asyncio.TimeoutError:
+                pass
+            changed.clear()
+
+    # -- health ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` body: queue depths, tenants, cache hit rates."""
+        cache = self.bus.cache
+        return {
+            "status": "ok",
+            "queue": self.queue.counts(),
+            "tenants": self.queue.tenant_usage(),
+            "conservation_ok": self.queue.conservation_ok(),
+            "inflight_sweeps": self.executor.coalescer.inflight(),
+            "cache": {
+                "hits": cache.hits, "misses": cache.misses,
+                "stores": cache.stores, "evictions": cache.evictions,
+                "coalesced": cache.coalesced, "corrupt": cache.corrupt,
+                "lock_waits": cache.lock_waits,
+                "hit_rate": cache.hit_rate(),
+            },
+            "serve": {
+                **{name: self.bus.serve.get(name)
+                   for name in ("submitted", "started", "completed",
+                                "cancelled", "rejected", "failed",
+                                "replayed", "coalesced_sweeps", "points",
+                                "stream_stalls")},
+                "queue_wait_s": self.bus.serve.queue_wait_s,
+                "mean_queue_wait_s": self.bus.serve.mean_queue_wait_s(),
+            },
+        }

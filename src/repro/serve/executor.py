@@ -1,0 +1,133 @@
+"""Runs one job's sweep through the evaluation harness, streaming points.
+
+The executor is the bridge between the server's job model and the PR 1-8
+harness stack:
+
+- each point runs through :func:`repro.eval.parallel.run_suite_parallel`
+  — the same multiprocessing fan-out, per-point timeouts, and on-disk
+  :class:`~repro.eval.cache.EvalCache` the CLI uses — with the job's
+  cooperative cancel event and a progress callback that emits one NDJSON
+  ``point`` event as each point lands;
+- *duplicate in-flight sweeps* coalesce through one shared
+  :class:`repro.store.Coalescer` keyed by :meth:`JobSpec.sweep_key`: the
+  first job computes, concurrent identical jobs block on the leader and
+  replay its per-point results with outcome ``"coalesced"`` — exactly one
+  computation per distinct sweep reaches the pool, proven by the
+  ``cache.coalesced`` counter;
+- a leader that is *cancelled* mid-flight poisons its followers with
+  :class:`SweepCancelled`; a follower that was not itself cancelled
+  retries (becoming the new leader), so one tenant's DELETE can never
+  cancel another tenant's identical job.
+
+The executor runs in worker threads (the server's event loop stays free
+for sockets); ``emit`` callbacks must therefore be thread-safe — the
+server passes a ``loop.call_soon_threadsafe`` trampoline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.arch.config import default_delta_config
+from repro.eval.cache import EvalCache
+from repro.eval.parallel import run_suite_parallel
+from repro.serve.protocol import point_event
+from repro.serve.queue import CANCELLED, COMPLETED, FAILED, Job
+from repro.store import Coalescer
+from repro.store.metrics import NULL_METRICS
+
+
+class SweepCancelled(Exception):
+    """The sweep's leader was cancelled before finishing.
+
+    Raised out of the leader's compute so the :class:`~repro.store
+    .Coalescer` propagates it to every follower of the same sweep key;
+    followers that are still alive retry as the new leader.
+    """
+
+
+class JobExecutor:
+    """Executes jobs against the harness; shared by all worker threads."""
+
+    def __init__(self, cache: Optional[EvalCache] = None, *,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 store_metrics=NULL_METRICS,
+                 serve_metrics=NULL_METRICS) -> None:
+        self.cache = cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.serve_metrics = serve_metrics
+        #: Sweep-level single flight: identical in-flight jobs share one
+        #: computation (counted on the shared ``cache.coalesced`` metric).
+        self.coalescer = Coalescer(metrics=store_metrics)
+
+    def run_job(self, job: Job,
+                emit: Callable[[dict], None]) -> tuple[str, Optional[str]]:
+        """Run one claimed job to a terminal state; returns (state, error).
+
+        Never raises: simulation failures become ``("failed", message)``
+        so the server's scheduler loop cannot be killed by a bad spec or
+        a workload that fails verification.
+        """
+        while True:
+            try:
+                leader_id, events = self.coalescer.run(
+                    job.spec.sweep_key(),
+                    lambda: self._compute_sweep(job, emit))
+            except SweepCancelled:
+                if job.cancel.is_set():
+                    return CANCELLED, None
+                # Our leader died cancelled but *we* were not cancelled:
+                # go round again and compute the sweep ourselves.
+                continue
+            except Exception as exc:  # noqa: BLE001 - the job, not us
+                return FAILED, f"{type(exc).__name__}: {exc}"
+            if leader_id == job.id:
+                # We were the leader; events already streamed live.
+                return COMPLETED, None
+            if job.cancel.is_set():
+                return CANCELLED, None
+            # Follower: replay the leader's per-point results under the
+            # coalesced outcome — same numbers, zero simulations.
+            self.serve_metrics.add("coalesced_sweeps")
+            for event in events:
+                replay = dict(event)
+                if replay.get("outcome") != "cancelled":
+                    replay["outcome"] = "coalesced"
+                emit(replay)
+                self.serve_metrics.add("points")
+            return COMPLETED, None
+
+    def _compute_sweep(self, job: Job,
+                       emit: Callable[[dict], None]) -> tuple[str, list]:
+        """Leader path: actually run the sweep, emitting live points.
+
+        Returns ``(leader job id, point events)`` so followers can both
+        recognise they coalesced and replay the event log.
+        """
+        from repro.workloads import get_workload
+
+        spec = job.spec
+        workloads = [get_workload(name) for name in spec.workloads]
+        delta_config = default_delta_config(lanes=spec.lanes,
+                                            seed=spec.seed)
+        delta_config = delta_config.with_policy(spec.policy)
+        events: list = []
+
+        def on_result(index: int, comparison, outcome: str) -> None:
+            event = point_event(index, comparison, outcome)
+            events.append(event)
+            emit(event)
+            self.serve_metrics.add("points")
+
+        run_suite_parallel(lanes=spec.lanes, workloads=workloads,
+                           jobs=self.jobs, verify=spec.verify,
+                           timeout=self.timeout, cache=self.cache,
+                           delta_config=delta_config,
+                           sanitize=spec.sanitize,
+                           cancel=job.cancel, on_result=on_result)
+        if job.cancel.is_set():
+            raise SweepCancelled(job.id)
+        return job.id, events

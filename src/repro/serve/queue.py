@@ -1,0 +1,369 @@
+"""The persistent, multi-tenant job queue behind ``repro serve``.
+
+One :class:`JobQueue` owns every job the server knows about and is the
+single source of truth for the job state machine::
+
+    submit ─┬─> queued ──claim──> running ──finish──> completed | failed
+            │      │                  │
+            │      └──cancel──────────┴──────────────> cancelled
+            └─(quota)────────────────────────────────> rejected
+
+Rejected submissions never enter the queue; cancelling a *queued* job is
+immediate, cancelling a *running* job sets its cooperative
+``threading.Event`` (the executor propagates it into the in-flight
+:mod:`repro.eval.parallel` points) and the job reaches ``cancelled`` when
+the worker acknowledges.
+
+**Conservation** is the queue's core invariant, checked under the lock on
+every transition and surfaced by ``/healthz``::
+
+    submitted == queued + running + completed + cancelled + failed
+                 + rejected
+
+(``submitted`` counts every submission *attempt*, so quota rejections
+balance too.) The Hypothesis property test in ``tests/test_serve.py``
+drives random submit/claim/cancel/finish interleavings against exactly
+this check.
+
+**Scheduling** is priority-first with fair-share draining: the next job
+claimed is from the highest priority band with queued work; within the
+band, tenants with fewer running jobs win, ties going to the tenant
+served least recently, and each tenant's own jobs drain FIFO. A greedy
+tenant can saturate its quota, never the queue.
+
+**Persistence**: every accepted job is pickled into the shared
+:class:`repro.store.ShardedStore` under the ``jobs`` namespace on each
+state transition, so queued work survives a server restart.
+:meth:`JobQueue.recover` re-queues persisted ``queued`` *and* ``running``
+jobs (a running job at recovery time was interrupted mid-flight) and
+keeps terminal jobs loadable for event replay.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.protocol import (
+    JobSpec,
+    QuotaExceeded,
+    UnknownJob,
+    job_event,
+    parse_job_spec,
+)
+from repro.store import ShardedStore
+from repro.store.metrics import NULL_METRICS
+
+#: The store namespace persisted jobs live in (alongside eval/structure).
+JOBS_NAMESPACE = "jobs"
+
+# Job states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+FAILED = "failed"
+TERMINAL = frozenset({COMPLETED, CANCELLED, FAILED})
+
+
+@dataclass
+class Job:
+    """One tracked job: its spec, its state, and its event log.
+
+    ``cancel`` is the cooperative cancellation handle shared with the
+    executor; ``events`` is the NDJSON log streamers replay (appended only
+    from the server's event loop, so streamers read it without locking).
+    """
+
+    id: str
+    spec: JobSpec
+    state: str = QUEUED
+    error: Optional[str] = None
+    cancel_requested: bool = False
+    submitted_at: float = 0.0
+    events: list = field(default_factory=list)
+    cancel: threading.Event = field(default_factory=threading.Event,
+                                    repr=False, compare=False)
+
+    def to_json(self) -> dict:
+        """The ``GET /jobs/<id>`` body."""
+        return {"job": self.id, "state": self.state,
+                "cancel_requested": self.cancel_requested,
+                "error": self.error, "spec": self.spec.to_json(),
+                "events": len(self.events)}
+
+
+class JobQueue:
+    """Thread-safe job registry + scheduler + persistence + accounting."""
+
+    def __init__(self, store: Optional[ShardedStore] = None, *,
+                 max_active_per_tenant: int = 8,
+                 metrics=NULL_METRICS) -> None:
+        self.store = store
+        self.max_active_per_tenant = max_active_per_tenant
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        #: FIFO order within a tenant: monotonically increasing per submit.
+        self._order: dict[str, int] = {}
+        self._seq = 0
+        #: Fair-share recency: tenant -> seq of its last claimed job.
+        self._served: dict[str, int] = {}
+        # The conservation counters (ints, mutated under the lock only).
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.failed = 0
+        self.replayed = 0
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, payload: object) -> Job:
+        """Validate and enqueue one job; returns the queued :class:`Job`.
+
+        Raises a typed error instead of enqueueing when the spec is
+        invalid (:class:`SpecError` — not counted as a submission) or the
+        tenant is at its active quota (:class:`QuotaExceeded` — counted
+        ``submitted`` *and* ``rejected``, preserving conservation).
+        """
+        spec = payload if isinstance(payload, JobSpec) \
+            else parse_job_spec(payload)
+        with self._lock:
+            self.submitted += 1
+            self.metrics.add("submitted")
+            active = self._tenant_active(spec.tenant)
+            if active >= self.max_active_per_tenant:
+                self.rejected += 1
+                self.metrics.add("rejected")
+                self._check_conservation()
+                raise QuotaExceeded(
+                    f"tenant {spec.tenant!r} has {active} active job(s), "
+                    f"at its quota of {self.max_active_per_tenant}")
+            job = Job(id=uuid.uuid4().hex, spec=spec,
+                      submitted_at=time.monotonic())
+            self._seq += 1
+            self._order[job.id] = self._seq
+            self._jobs[job.id] = job
+            job.events.append(job_event("queued", job.id, QUEUED,
+                                        spec=spec.to_json()))
+            self._persist(job)
+            self._check_conservation()
+            return job
+
+    # -- scheduling ------------------------------------------------------
+
+    def claim_next(self) -> Optional[Job]:
+        """Move the next job to ``running`` and return it (None if idle).
+
+        Priority band first; within the band the tenant with the fewest
+        running jobs wins, ties broken by least-recently-served, then the
+        tenant's own jobs drain FIFO.
+        """
+        with self._lock:
+            queued = [j for j in self._jobs.values() if j.state == QUEUED]
+            if not queued:
+                return None
+            top = max(j.spec.priority for j in queued)
+            band = [j for j in queued if j.spec.priority == top]
+            running = self._running_by_tenant()
+            job = min(band, key=lambda j: (
+                running.get(j.spec.tenant, 0),
+                self._served.get(j.spec.tenant, -1),
+                self._order[j.id]))
+            job.state = RUNNING
+            self._served[job.spec.tenant] = self._seq
+            wait_s = max(time.monotonic() - job.submitted_at, 0.0)
+            self.metrics.add("started")
+            self.metrics.add("queue_wait_s", wait_s)
+            job.events.append(job_event("started", job.id, RUNNING,
+                                        queue_wait_s=round(wait_s, 6)))
+            self._persist(job)
+            self._check_conservation()
+            return job
+
+    # -- cancellation ----------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Cancel a job cooperatively; returns its (possibly new) state.
+
+        Queued jobs cancel immediately; running jobs get their cancel
+        event set and transition when the executor acknowledges via
+        :meth:`finish`. Cancelling a terminal job is a no-op (idempotent
+        DELETE). Unknown ids raise :class:`UnknownJob`.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJob(f"no job {job_id!r}")
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.cancel_requested = True
+                job.cancel.set()
+                self.cancelled += 1
+                self.metrics.add("cancelled")
+                job.events.append(job_event("done", job.id, CANCELLED))
+                self._persist(job)
+            elif job.state == RUNNING:
+                job.cancel_requested = True
+                job.cancel.set()
+                self._persist(job)
+            self._check_conservation()
+            return job
+
+    # -- completion ------------------------------------------------------
+
+    def finish(self, job_id: str, state: str,
+               error: Optional[str] = None) -> Job:
+        """Retire a running job to a terminal state (executor callback)."""
+        assert state in TERMINAL, state
+        with self._lock:
+            job = self._jobs[job_id]
+            assert job.state == RUNNING, (job.state, state)
+            job.state = state
+            job.error = error
+            if state == COMPLETED:
+                self.completed += 1
+            elif state == CANCELLED:
+                self.cancelled += 1
+            else:
+                self.failed += 1
+            self.metrics.add(state)
+            event = job_event("done", job.id, state)
+            if error is not None:
+                event["error"] = error
+            job.events.append(event)
+            self._persist(job)
+            self._check_conservation()
+            return job
+
+    # -- lookup / accounting ---------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(f"no job {job_id!r}")
+        return job
+
+    def _tenant_active(self, tenant: str) -> int:
+        return sum(1 for j in self._jobs.values()
+                   if j.spec.tenant == tenant
+                   and j.state in (QUEUED, RUNNING))
+
+    def _running_by_tenant(self) -> dict[str, int]:
+        running: dict[str, int] = {}
+        for job in self._jobs.values():
+            if job.state == RUNNING:
+                tenant = job.spec.tenant
+                running[tenant] = running.get(tenant, 0) + 1
+        return running
+
+    def counts(self) -> dict[str, int]:
+        """Every conservation term, as one snapshot under the lock."""
+        with self._lock:
+            return self._counts_locked()
+
+    def _counts_locked(self) -> dict[str, int]:
+        by_state = {QUEUED: 0, RUNNING: 0}
+        for job in self._jobs.values():
+            if job.state in by_state:
+                by_state[job.state] += 1
+        return {"submitted": self.submitted, "queued": by_state[QUEUED],
+                "running": by_state[RUNNING], "completed": self.completed,
+                "cancelled": self.cancelled, "failed": self.failed,
+                "rejected": self.rejected, "replayed": self.replayed}
+
+    def tenant_usage(self) -> dict[str, dict[str, int]]:
+        """Live per-tenant queue usage for ``/healthz``."""
+        with self._lock:
+            usage: dict[str, dict[str, int]] = {}
+            for job in self._jobs.values():
+                if job.state not in (QUEUED, RUNNING):
+                    continue
+                entry = usage.setdefault(job.spec.tenant,
+                                         {"queued": 0, "running": 0})
+                entry[job.state] += 1
+            for entry in usage.values():
+                entry["active"] = entry["queued"] + entry["running"]
+            return usage
+
+    def conservation_ok(self) -> bool:
+        """``submitted == queued+running+completed+cancelled+failed+rejected``."""
+        counts = self.counts()
+        return counts["submitted"] == (
+            counts["queued"] + counts["running"] + counts["completed"]
+            + counts["cancelled"] + counts["failed"] + counts["rejected"])
+
+    def _check_conservation(self) -> None:
+        counts = self._counts_locked()
+        settled = (counts["queued"] + counts["running"]
+                   + counts["completed"] + counts["cancelled"]
+                   + counts["failed"] + counts["rejected"])
+        assert counts["submitted"] == settled, counts
+
+    # -- persistence -----------------------------------------------------
+
+    def _persist(self, job: Job) -> None:
+        if self.store is None:
+            return
+        payload = pickle.dumps(
+            {"id": job.id, "spec": job.spec, "state": job.state,
+             "error": job.error, "events": list(job.events)},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self.store.write(JOBS_NAMESPACE, job.id, payload)
+
+    def recover(self) -> int:
+        """Replay the persisted ``jobs`` namespace after a restart.
+
+        Queued and running records re-enter the queue (a job persisted as
+        ``running`` was interrupted mid-flight — it restarts from
+        scratch); terminal records stay loadable so clients can still
+        stream their event logs. Corrupt records are discarded through the
+        store's never-raise path. Returns how many jobs were re-queued.
+        """
+        if self.store is None:
+            return 0
+        requeued = 0
+        for key, payload in self.store.items(JOBS_NAMESPACE):
+            try:
+                record = pickle.loads(payload)
+                job = Job(id=record["id"], spec=record["spec"],
+                          state=record["state"], error=record["error"],
+                          events=list(record["events"]))
+            except Exception as exc:
+                self.store.discard_corrupt(JOBS_NAMESPACE, key, repr(exc))
+                continue
+            with self._lock:
+                if job.id in self._jobs:
+                    continue
+                if job.state in TERMINAL:
+                    # Loadable history; deliberately outside the live
+                    # conservation accounting (it balanced last run).
+                    self._jobs[job.id] = job
+                    continue
+                job.state = QUEUED
+                job.error = None
+                job.submitted_at = time.monotonic()
+                job.events.append(job_event("requeued", job.id, QUEUED))
+                self.submitted += 1
+                self.replayed += 1
+                self._seq += 1
+                self._order[job.id] = self._seq
+                self._jobs[job.id] = job
+                self.metrics.add("submitted")
+                self.metrics.add("replayed")
+                self._persist(job)
+                self._check_conservation()
+            requeued += 1
+        return requeued
+
+    def jobs(self) -> list[Job]:
+        """Every known job, newest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(),
+                          key=lambda j: -self._order.get(j.id, 0))

@@ -218,6 +218,18 @@ class ShardedStore:
         for path in self._entry_paths(namespace):
             yield path.name[:-len(self.SUFFIX)]
 
+    def items(self, namespace: str) -> Iterator[tuple[str, bytes]]:
+        """Every (key, payload) pair in a namespace, in key order.
+
+        Entries that vanish mid-scan (concurrent eviction, deletion) are
+        skipped. This is the recovery scan ``repro serve`` replays its
+        persistent ``jobs`` namespace with after a restart.
+        """
+        for key in self.keys(namespace):
+            payload = self.read(namespace, key)
+            if payload is not None:
+                yield key, payload
+
     def entry_count(self, namespace: Optional[str] = None) -> int:
         return sum(1 for _ in self._entry_paths(namespace))
 

@@ -142,6 +142,41 @@ class TestRepositoryLayering:
                        "baseline", "workloads"):
             assert (f"repro.{source}", "repro.store") in forbidden_pairs
 
+    def test_serve_stays_above_the_simulation_stack(self):
+        # The server drives the harness, the store and the metrics bus;
+        # touching the simulation stack directly would let serving
+        # perturb what is being measured.
+        checker = load_checker()
+        for path in (SRC_ROOT / "repro" / "serve").glob("*.py"):
+            imports = checker.runtime_imports(ast.parse(path.read_text()))
+            offending = [name for name in imports
+                         if name.startswith(("repro.sim", "repro.core",
+                                             "repro.baseline",
+                                             "repro.graph", "repro.sched",
+                                             "repro.isa", "repro.cli"))]
+            assert not offending, f"{path.name}: {offending}"
+
+    def test_simulation_stack_never_imports_serve(self):
+        checker = load_checker()
+        for layer in ("util", "store", "sim", "arch", "machine", "core",
+                      "graph", "sched", "baseline", "workloads", "eval"):
+            for path in (SRC_ROOT / "repro" / layer).glob("*.py"):
+                imports = checker.runtime_imports(
+                    ast.parse(path.read_text()))
+                offending = [name for name in imports
+                             if name.startswith("repro.serve")]
+                assert not offending, f"{layer}/{path.name}: {offending}"
+
+    def test_serve_edges_are_enforced_by_the_checker(self):
+        checker = load_checker()
+        forbidden_pairs = {(src, dst) for src, dst, _ in
+                           checker.FORBIDDEN_EDGES}
+        for target in ("sim", "core", "baseline", "graph", "sched", "cli"):
+            assert ("repro.serve", f"repro.{target}") in forbidden_pairs
+        for source in ("sim", "arch", "machine", "core", "baseline",
+                       "eval", "store"):
+            assert (f"repro.{source}", "repro.serve") in forbidden_pairs
+
     def test_graph_edges_are_enforced_by_the_checker(self):
         # The rules themselves, not just today's tree: a core module that
         # imports the IR must be reported.

@@ -8,6 +8,8 @@ The contract under test (see docs/evaluation.md):
 """
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -93,6 +95,98 @@ class TestParallelExecutor:
         assert resolve_jobs(1) == 1
         monkeypatch.setenv("REPRO_JOBS", "not-a-number")
         assert resolve_jobs(None) == 1
+
+
+def _sleeping_compare(spec):
+    """Stand-in point that outlives every budget (module-level so the
+    fork-started pool workers resolve it by reference)."""
+    time.sleep(30)
+
+
+class TestCancellation:
+    """Cooperative cancellation: points resolve to outcome ``"cancelled"``
+    with result ``None`` — never an exception, whatever state the point
+    was in (queued, in the pool, or mid serial-recompute)."""
+
+    def test_pre_cancelled_sweep_computes_nothing(self):
+        from repro.eval.runner import simulation_count
+
+        cancel = threading.Event()
+        cancel.set()
+        before = simulation_count()
+        outcomes: list = []
+        results = run_suite_parallel(lanes=LANES,
+                                     workloads=fast_workloads(), jobs=1,
+                                     outcomes=outcomes, cancel=cancel)
+        assert results == [None, None]
+        assert outcomes == ["cancelled", "cancelled"]
+        assert simulation_count() == before
+
+    def test_cancel_mid_sweep_marks_remaining_points_cancelled(self):
+        # The first settled point fires the cancel: everything after it
+        # must resolve as cancelled, everything before it stays computed.
+        cancel = threading.Event()
+        outcomes: list = []
+        settled: list = []
+
+        def on_result(index, comparison, outcome):
+            settled.append((index, outcome))
+            cancel.set()
+
+        workloads = fast_workloads() + [SpmvWorkload()]
+        results = run_suite_parallel(lanes=LANES, workloads=workloads,
+                                     jobs=2, outcomes=outcomes,
+                                     cancel=cancel, on_result=on_result)
+        assert "cancelled" in outcomes
+        assert len(settled) == len(workloads)
+        for comparison, outcome in zip(results, outcomes):
+            if outcome == "cancelled":
+                assert comparison is None
+            else:
+                assert comparison is not None
+
+    def test_cancelled_timeout_recovery_reports_cancelled(self, monkeypatch):
+        # Regression: a point that times out in the pool AND whose serial
+        # recompute is then cancelled must settle as "cancelled" — not
+        # raise PointTimeoutError or a pool-teardown error at the caller.
+        import multiprocessing
+
+        from repro.eval import parallel as parallel_mod
+        from repro.eval.parallel import run_points
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork workers to inherit the patched point")
+        monkeypatch.setattr(parallel_mod, "_compare_point",
+                            _sleeping_compare)
+        cancel = threading.Event()
+        timer = threading.Timer(0.45, cancel.set)
+        timer.start()
+        delta = default_delta_config(lanes=LANES)
+        static = default_baseline_config(lanes=LANES)
+        points = [(workload, delta, static, True)
+                  for workload in fast_workloads()]
+        outcomes: list = []
+        try:
+            results = run_points(points, jobs=2, timeout=0.3,
+                                 outcomes=outcomes, cancel=cancel)
+        finally:
+            timer.cancel()
+        assert results == [None, None]
+        assert outcomes == ["cancelled", "cancelled"]
+
+    def test_cancelled_pool_failure_reports_cancelled(self):
+        # The other half of the regression: when the bounded recompute's
+        # pool machinery fails *while the cancel event is set*,
+        # cancellation must win over the secondary error.
+        from repro.eval.parallel import _Cancelled, _recover_point
+
+        delta = default_delta_config(lanes=LANES)
+        static = default_baseline_config(lanes=LANES)
+        spec = (SkewedTasks(num_tasks=24), delta, static, True)
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(_Cancelled):
+            _recover_point(spec, timeout=600.0, cancel=cancel)
 
 
 class TestEvalCache:

@@ -1,0 +1,431 @@
+"""The server test battery for ``repro serve``.
+
+What must hold (see docs/serving.md):
+
+- **protocol round-trip**: a sweep submitted over the wire streams the
+  same per-point numbers a direct in-process ``compare()`` produces,
+  field for field;
+- **cancellation**: DELETE on a running job propagates into the in-flight
+  evaluation points and leaves the queue and pool clean — conservation
+  still balances and the server keeps serving;
+- **quotas**: a tenant at its active-job quota gets a typed 429; other
+  tenants are unaffected;
+- **restart recovery**: queued jobs persisted in the ``jobs`` store
+  namespace are replayed by a fresh server;
+- **coalescing**: duplicate in-flight sweeps — even from different
+  tenants — compute once, proven by the ``cache.coalesced`` metric;
+- **conservation**: random submit/claim/cancel/finish interleavings never
+  violate ``submitted == queued + running + completed + cancelled +
+  failed + rejected`` (Hypothesis property).
+
+Every server here binds port 0 on localhost and runs in a background
+thread; clients are plain ``http.client`` over the NDJSON protocol.
+"""
+
+import http.client
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import default_delta_config
+from repro.eval.parallel import run_suite_parallel
+from repro.serve import JobQueue, JobSpec, QuotaExceeded, Server
+from repro.serve.protocol import parse_job_spec
+from repro.serve.queue import CANCELLED, COMPLETED, FAILED, RUNNING
+from repro.workloads import get_workload
+
+LANES = 4
+#: Fast registered workloads (fractions of a second per point).
+NAMES = ["micro-chain", "micro-skewed"]
+
+
+# -- harness ----------------------------------------------------------------
+
+@contextmanager
+def serving(tmp_path, **kwargs):
+    """A live server on a fresh store, torn down gracefully."""
+    server = Server(port=0, root=tmp_path / "store", **kwargs)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.ready.wait(10), "server did not come up"
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(10)
+        assert not thread.is_alive(), "server did not shut down"
+
+
+def request(port, method, path, body=None, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        data = response.read()
+    finally:
+        conn.close()
+    return response.status, (json.loads(data) if data else None)
+
+
+def stream(port, job_id, timeout=120):
+    """Consume a job's whole NDJSON event stream (ends at socket close)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        events = [json.loads(line)
+                  for line in response.read().decode().splitlines()]
+    finally:
+        conn.close()
+    return events
+
+
+def submit(port, spec):
+    status, body = request(port, "POST", "/jobs", body=spec)
+    assert status == 201, body
+    return body["job"]
+
+
+def sweep_spec(**overrides):
+    spec = {"kind": "sweep", "workloads": NAMES, "lanes": LANES,
+            "sanitize": True}
+    spec.update(overrides)
+    return spec
+
+
+def wait_for_state(port, job_id, states, timeout=30):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _status, body = request(port, "GET", f"/jobs/{job_id}")
+        if body["state"] in states:
+            return body
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+def slow_points(monkeypatch, delay_s):
+    """Make every evaluation point take ``delay_s`` extra seconds.
+
+    The server under test runs in this process, so patching the point
+    function is enough to hold a job in flight long enough to race it.
+    """
+    from repro.eval import parallel as parallel_mod
+
+    real = parallel_mod._compare_point
+
+    def slowed(spec):
+        time.sleep(delay_s)
+        return real(spec)
+
+    monkeypatch.setattr(parallel_mod, "_compare_point", slowed)
+
+
+# -- the battery ------------------------------------------------------------
+
+class TestProtocolRoundTrip:
+    def test_submitted_sweep_matches_direct_compare(self, tmp_path):
+        config = default_delta_config(lanes=LANES, seed=0)
+        config = config.with_policy("work-aware")
+        expected = run_suite_parallel(
+            lanes=LANES, workloads=[get_workload(n) for n in NAMES],
+            jobs=1, delta_config=config, sanitize=True)
+        with serving(tmp_path) as server:
+            job_id = submit(server.port, sweep_spec())
+            events = stream(server.port, job_id)
+
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "queued" and kinds[1] == "started"
+            assert events[-1] == {"event": "done", "job": job_id,
+                                  "state": "completed"}
+            points = {e["index"]: e for e in events
+                      if e["event"] == "point"}
+            assert sorted(points) == list(range(len(NAMES)))
+            for index, comparison in enumerate(expected):
+                event = points[index]
+                assert event["outcome"] == "ok"
+                assert event["workload"] == comparison.workload
+                assert event["delta_cycles"] == comparison.delta.cycles
+                assert event["static_cycles"] == comparison.static.cycles
+                assert event["speedup"] == comparison.speedup
+                assert event["traffic_ratio"] == comparison.traffic_ratio
+                assert event["lanes"] == comparison.lanes
+                metrics = event["metrics"]
+                assert metrics["delta_dram_bytes"] == \
+                    comparison.delta.dram_bytes
+                assert metrics["static_dram_bytes"] == \
+                    comparison.static.dram_bytes
+                assert metrics["delta_noc_bytes"] == \
+                    comparison.delta.noc_bytes
+                assert metrics["static_noc_bytes"] == \
+                    comparison.static.noc_bytes
+                assert metrics["tasks_executed"] == \
+                    comparison.delta.tasks_executed
+
+            # Warm repeat: same spec, zero simulations, same numbers.
+            repeat_id = submit(server.port, sweep_spec())
+            repeat = [e for e in stream(server.port, repeat_id)
+                      if e["event"] == "point"]
+            assert [e["outcome"] for e in repeat] == \
+                ["cached"] * len(NAMES)
+            for fresh, cached in zip(sorted(points.values(),
+                                            key=lambda e: e["index"]),
+                                     sorted(repeat,
+                                            key=lambda e: e["index"])):
+                assert cached["delta_cycles"] == fresh["delta_cycles"]
+                assert cached["speedup"] == fresh["speedup"]
+
+            health = request(server.port, "GET", "/healthz")[1]
+            assert health["cache"]["hits"] >= len(NAMES)
+            assert health["cache"]["hit_rate"] > 0
+            assert health["conservation_ok"] is True
+            assert health["queue"]["completed"] == 2
+
+    def test_typed_errors_over_the_wire(self, tmp_path):
+        with serving(tmp_path) as server:
+            port = server.port
+            cases = [
+                ({"kind": "sweep", "workloads": ["no-such-workload"]},
+                 400, "bad-spec"),
+                ({"kind": "sweep", "workloads": NAMES, "polcy": "x"},
+                 400, "bad-spec"),
+                ({"kind": "sweep", "workloads": NAMES,
+                  "policy": "no-such-policy"}, 400, "unknown-policy"),
+                ({"kind": "compare", "workloads": NAMES}, 400, "bad-spec"),
+            ]
+            for spec, want_status, want_code in cases:
+                status, body = request(port, "POST", "/jobs", body=spec)
+                assert status == want_status, body
+                assert body["error"]["code"] == want_code
+            status, body = request(port, "GET", "/jobs/doesnotexist")
+            assert (status, body["error"]["code"]) == (404, "unknown-job")
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            conn.request("POST", "/jobs", body=b"{not json")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            conn.close()
+            assert response.status == 400
+            assert body["error"]["code"] == "bad-json"
+            # None of those rejections may unbalance the books.
+            health = request(port, "GET", "/healthz")[1]
+            assert health["conservation_ok"] is True
+
+
+class TestQuotas:
+    def test_tenant_at_quota_gets_typed_429(self, tmp_path):
+        with serving(tmp_path, start_paused=True,
+                     max_active_per_tenant=2) as server:
+            port = server.port
+            submit(port, sweep_spec(tenant="greedy"))
+            submit(port, sweep_spec(tenant="greedy", seed=1))
+            status, body = request(port, "POST", "/jobs",
+                                   body=sweep_spec(tenant="greedy",
+                                                   seed=2))
+            assert status == 429
+            assert body["error"]["code"] == "quota-exceeded"
+            # The quota is per tenant: another tenant still gets in.
+            submit(port, sweep_spec(tenant="patient"))
+            health = request(port, "GET", "/healthz")[1]
+            assert health["queue"]["rejected"] == 1
+            assert health["queue"]["queued"] == 3
+            assert health["tenants"]["greedy"]["active"] == 2
+            assert health["conservation_ok"] is True
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, tmp_path):
+        with serving(tmp_path, start_paused=True) as server:
+            job_id = submit(server.port, sweep_spec())
+            status, body = request(server.port, "DELETE",
+                                   f"/jobs/{job_id}")
+            assert status == 202
+            assert body["state"] == "cancelled"
+            events = stream(server.port, job_id)
+            assert events[-1]["state"] == "cancelled"
+            health = request(server.port, "GET", "/healthz")[1]
+            assert health["queue"]["cancelled"] == 1
+            assert health["conservation_ok"] is True
+
+    def test_mid_flight_cancel_leaves_queue_and_pool_clean(self, tmp_path,
+                                                           monkeypatch):
+        slow_points(monkeypatch, delay_s=0.3)
+        with serving(tmp_path, max_concurrent_jobs=1) as server:
+            port = server.port
+            job_id = submit(port, sweep_spec(
+                workloads=NAMES + ["micro-shared"]))
+            wait_for_state(port, job_id, {"running"})
+            status, body = request(port, "DELETE", f"/jobs/{job_id}")
+            assert status == 202 and body["cancel_requested"] is True
+            events = stream(port, job_id)
+            assert events[-1]["state"] == "cancelled"
+            # Points never computed report "cancelled" with no numbers.
+            cancelled = [e for e in events if e["event"] == "point"
+                         and e["outcome"] == "cancelled"]
+            assert cancelled, "no point observed the cancellation"
+            assert all("delta_cycles" not in e for e in cancelled)
+
+            health = request(port, "GET", "/healthz")[1]
+            assert health["queue"]["running"] == 0
+            assert health["queue"]["queued"] == 0
+            assert health["queue"]["cancelled"] == 1
+            assert health["conservation_ok"] is True
+            assert health["inflight_sweeps"] == 0
+
+            # The pool is clean: the next job runs to completion.
+            follow_up = submit(port, sweep_spec(seed=7))
+            assert stream(port, follow_up)[-1]["state"] == "completed"
+            assert request(port, "GET", "/healthz")[1]["conservation_ok"] \
+                is True
+
+
+class TestRestartRecovery:
+    def test_queued_jobs_survive_a_restart(self, tmp_path):
+        with serving(tmp_path, start_paused=True) as server:
+            first = submit(server.port, sweep_spec())
+            second = submit(server.port, sweep_spec(seed=1,
+                                                    tenant="other"))
+            assert request(server.port, "GET",
+                           "/healthz")[1]["queue"]["queued"] == 2
+        # Same store root, fresh process state: recovery must replay both.
+        with serving(tmp_path) as reborn:
+            for job_id in (first, second):
+                events = stream(reborn.port, job_id)
+                assert events[-1]["state"] == "completed"
+                assert any(e["event"] == "requeued" for e in events)
+            health = request(reborn.port, "GET", "/healthz")[1]
+            assert health["queue"]["replayed"] == 2
+            assert health["queue"]["completed"] == 2
+            assert health["serve"]["replayed"] == 2
+            assert health["conservation_ok"] is True
+
+    def test_terminal_jobs_stay_streamable_after_restart(self, tmp_path):
+        with serving(tmp_path) as server:
+            job_id = submit(server.port, sweep_spec())
+            done = stream(server.port, job_id)
+            assert done[-1]["state"] == "completed"
+        with serving(tmp_path) as reborn:
+            replay = stream(reborn.port, job_id)
+            assert replay == done
+            # History replays do not re-enter the live accounting.
+            health = request(reborn.port, "GET", "/healthz")[1]
+            assert health["queue"]["submitted"] == 0
+            assert health["conservation_ok"] is True
+
+
+class TestMultiClientSoak:
+    def test_duplicate_sweeps_from_four_tenants_compute_once(
+            self, tmp_path, monkeypatch):
+        slow_points(monkeypatch, delay_s=0.5)
+        clients = 4
+        with serving(tmp_path, max_concurrent_jobs=clients) as server:
+            port = server.port
+            results: dict = {}
+
+            def client(tenant: str) -> None:
+                # Identical sweep from every tenant: the sweep_key
+                # excludes tenant, so these must coalesce onto one run.
+                job_id = submit(port, sweep_spec(tenant=tenant))
+                results[tenant] = stream(port, job_id)
+
+            threads = [threading.Thread(target=client, args=(f"t{i}",))
+                       for i in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            assert len(results) == clients
+
+            computed = 0
+            for events in results.values():
+                assert events[-1]["state"] == "completed"
+                points = [e for e in events if e["event"] == "point"]
+                assert len(points) == len(NAMES)
+                outcomes = {e["outcome"] for e in points}
+                assert outcomes <= {"ok", "coalesced", "cached"}
+                if "ok" in outcomes:
+                    computed += sum(1 for e in points
+                                    if e["outcome"] == "ok")
+            # Exactly one client was the leader; its points computed,
+            # every other client replayed them.
+            assert computed == len(NAMES)
+
+            health = request(port, "GET", "/healthz")[1]
+            assert health["serve"]["coalesced_sweeps"] == clients - 1
+            assert health["cache"]["coalesced"] >= clients - 1
+            assert health["queue"]["completed"] == clients
+            assert health["conservation_ok"] is True
+
+
+# -- the job-queue state machine under Hypothesis ---------------------------
+
+def _spec(tenant: int) -> JobSpec:
+    return JobSpec(kind="sweep", workloads=("micro-chain",),
+                   tenant=f"t{tenant}")
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 7),
+                          st.integers(0, 3)),
+                min_size=1, max_size=100))
+def test_random_interleavings_conserve_jobs(steps):
+    """submit/claim/cancel/finish in any order never unbalance
+    ``submitted == queued + running + completed + cancelled + failed +
+    rejected`` (the queue also asserts this internally on every
+    transition — a violation fails loudly, not just here)."""
+    queue = JobQueue(store=None, max_active_per_tenant=3)
+    running: list = []
+    for op, selector, tenant in steps:
+        if op == 0:  # submit (may hit the quota)
+            try:
+                queue.submit(_spec(tenant))
+            except QuotaExceeded:
+                pass
+        elif op == 1:  # claim
+            job = queue.claim_next()
+            if job is not None:
+                running.append(job.id)
+        elif op == 2:  # cancel any known job (idempotent on terminal)
+            jobs = queue.jobs()
+            if jobs:
+                queue.request_cancel(jobs[selector % len(jobs)].id)
+        else:  # finish one running job, honouring cancel requests
+            if running:
+                job_id = running.pop(selector % len(running))
+                job = queue.get(job_id)
+                if job.state == RUNNING:
+                    if job.cancel_requested:
+                        state = CANCELLED
+                    else:
+                        state = COMPLETED if selector % 2 else FAILED
+                    queue.finish(job_id, state)
+        assert queue.conservation_ok(), queue.counts()
+    counts = queue.counts()
+    assert counts["submitted"] == sum(
+        counts[k] for k in ("queued", "running", "completed", "cancelled",
+                            "failed", "rejected"))
+
+
+class TestSpecParsing:
+    def test_sweep_key_ignores_tenant_and_priority(self):
+        base = parse_job_spec(sweep_spec())
+        other = parse_job_spec(sweep_spec(tenant="else", priority=9))
+        assert base.sweep_key() == other.sweep_key()
+        assert parse_job_spec(sweep_spec(seed=1)).sweep_key() != \
+            base.sweep_key()
+
+    def test_compare_kind_is_one_workload(self):
+        spec = parse_job_spec({"kind": "compare", "workload": NAMES[0]})
+        assert spec.workloads == (NAMES[0],)
+
+    def test_bool_is_not_an_int(self):
+        from repro.serve.protocol import SpecError
+
+        with pytest.raises(SpecError):
+            parse_job_spec(sweep_spec(lanes=True))

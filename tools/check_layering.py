@@ -12,7 +12,9 @@ The architecture is layered bottom-up::
     repro.graph     (the TaskGraph IR: recovered program structure)
     repro.sched     (scheduling policies: protocol, registry, hints)
     repro.baseline  (alternative execution models on the same machine)
-    repro.isa / repro.workloads / repro.eval / repro.cli (top)
+    repro.isa / repro.workloads / repro.eval
+    repro.serve     (the sweep server: harness + store + metrics, no sim)
+    repro.cli       (top)
 
 The store layer is deliberately narrow: it sits just above util and
 below everything that simulates. Only the cache schemas (``eval`` and
@@ -141,6 +143,35 @@ FORBIDDEN_EDGES: list[tuple[str, str, str]] = [
      "policies schedule tasks; caching lives in the schemas above"),
     ("repro.workloads", "repro.store",
      "workloads build programs; caching lives in the harness above"),
+    # The serve layer: the sweep server drives the harness (eval), the
+    # store, and the metrics bus — it must never reach into the
+    # simulation stack directly, and nothing below the CLI may know the
+    # server exists.
+    ("repro.serve", "repro.sim",
+     "serve drives the harness; it never touches the event kernel"),
+    ("repro.serve", "repro.core",
+     "serve drives the harness; it never touches execution models"),
+    ("repro.serve", "repro.baseline",
+     "serve drives the harness; it never touches execution models"),
+    ("repro.serve", "repro.graph",
+     "serve consumes harness results, not the IR"),
+    ("repro.serve", "repro.sched",
+     "policy choice validates through arch config, never the registry"),
+    ("repro.serve", "repro.isa", "serve is above the whole machine stack"),
+    ("repro.serve", "repro.cli", "the CLI hosts the server, not vice versa"),
+    ("repro.util", "repro.serve", "util is the leaf layer"),
+    ("repro.store", "repro.serve", "the store imports util only"),
+    ("repro.sim", "repro.serve", "the simulation stack never serves"),
+    ("repro.arch", "repro.serve", "the simulation stack never serves"),
+    ("repro.machine", "repro.serve", "the simulation stack never serves"),
+    ("repro.core", "repro.serve", "the simulation stack never serves"),
+    ("repro.graph", "repro.serve", "the IR layer never serves"),
+    ("repro.sched", "repro.serve", "the scheduling seam never serves"),
+    ("repro.baseline", "repro.serve", "the simulation stack never serves"),
+    ("repro.isa", "repro.serve", "the ISA layer never serves"),
+    ("repro.workloads", "repro.serve", "workloads never serve"),
+    ("repro.eval", "repro.serve",
+     "the harness is the server's engine, not its client"),
 ]
 
 
