@@ -14,8 +14,10 @@ Commands:
 - ``show WORKLOAD``             — DOT / ASCII views of a workload's task
   graph and kernels.
 - ``serve``                     — long-running async sweep server
-  (``POST /jobs``, NDJSON event streams, cancellation, ``/healthz``;
-  see docs/serving.md).
+  (``POST /jobs``, NDJSON event streams, cancellation, ``/healthz``,
+  job leases + overload shedding; see docs/serving.md, docs/chaos.md).
+- ``jobs list|gc``              — inspect / prune the persisted job
+  queue directly from the store, no server required.
 """
 
 from __future__ import annotations
@@ -173,6 +175,53 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="jobs executing at once; each fans out its "
                               "own --jobs worker pool (default 2)")
+    p_serve.add_argument("--lease-s", type=float, default=15.0,
+                         metavar="S",
+                         help="running-job lease duration; a job whose "
+                              "worker stops heartbeating for this long is "
+                              "requeued by the watchdog (default 15)")
+    p_serve.add_argument("--max-lease-attempts", type=int, default=3,
+                         metavar="N",
+                         help="lease losses (crashes/wedges) a job may "
+                              "survive before it fails with a typed "
+                              "lease-expired error (default 3)")
+    p_serve.add_argument("--max-queued", type=int, default=None,
+                         metavar="N",
+                         help="global queued-job cap; submissions past it "
+                              "shed with 503 + Retry-After (default: "
+                              "uncapped)")
+    p_serve.add_argument("--max-backlog-per-tenant", type=int,
+                         default=None, metavar="N",
+                         help="per-tenant queued-job cap; submissions "
+                              "past it shed with 503 + Retry-After "
+                              "(default: uncapped)")
+    p_serve.add_argument("--job-ttl-s", type=float, default=24 * 3600.0,
+                         metavar="S",
+                         help="terminal job history older than this is "
+                              "garbage-collected by the watchdog "
+                              "(default 86400)")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect/prune the persisted job queue (offline)")
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+    p_jobs_list = jobs_sub.add_parser(
+        "list", help="list persisted job records from the store")
+    p_jobs_list.add_argument("--cache-dir", metavar="DIR",
+                             help="store root the server persists jobs "
+                                  "under (default: .repro-cache/ or "
+                                  "$REPRO_CACHE_DIR)")
+    p_jobs_list.add_argument("--state", metavar="STATE", default=None,
+                             help="only records in this state (queued, "
+                                  "running, completed, cancelled, failed)")
+    p_jobs_gc = jobs_sub.add_parser(
+        "gc", help="prune terminal job records older than a cutoff")
+    p_jobs_gc.add_argument("--older-than", type=float, required=True,
+                           metavar="S",
+                           help="age cutoff in seconds; terminal records "
+                                "older than this are deleted (live "
+                                "queued/running records are never touched)")
+    p_jobs_gc.add_argument("--cache-dir", metavar="DIR",
+                           help="store root the server persists jobs under")
 
     p_show = sub.add_parser("show", help="render a workload's structure")
     p_show.add_argument("workload")
@@ -416,7 +465,12 @@ def _cmd_serve(args) -> int:
                     no_cache=args.no_cache, jobs=args.jobs,
                     timeout=args.timeout,
                     max_active_per_tenant=args.max_active_per_tenant,
-                    max_concurrent_jobs=args.max_concurrent_jobs)
+                    max_concurrent_jobs=args.max_concurrent_jobs,
+                    lease_s=args.lease_s,
+                    max_lease_attempts=args.max_lease_attempts,
+                    max_queued=args.max_queued,
+                    max_backlog_per_tenant=args.max_backlog_per_tenant,
+                    job_ttl_s=args.job_ttl_s)
 
     def announce() -> None:
         server.ready.wait()
@@ -429,6 +483,53 @@ def _cmd_serve(args) -> int:
         server.run()  # returns after SIGINT/SIGTERM → graceful stop
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    """``repro jobs list|gc`` — operate on persisted job records directly.
+
+    Works against the store with no server running: ``list`` summarises
+    every record in the ``jobs`` namespace, ``gc --older-than S`` prunes
+    terminal history past the cutoff (live queued/running records are
+    shielded regardless of age, so a long outage never costs queued
+    work).
+    """
+    import time
+
+    from repro.serve.queue import gc_jobs, scan_jobs
+    from repro.store import open_store
+
+    store = open_store(args.cache_dir)
+    if args.jobs_command == "gc":
+        removed = gc_jobs(store, args.older_than)
+        print(f"pruned {removed} terminal job record"
+              f"{'' if removed == 1 else 's'} older than "
+              f"{args.older_than:g}s")
+        return 0
+    records = sorted(scan_jobs(store),
+                     key=lambda r: (r["finished_at"] or float("inf"),
+                                    r["job"]))
+    if args.state is not None:
+        records = [r for r in records if r["state"] == args.state]
+    if not records:
+        print("no persisted job records"
+              + (f" in state {args.state!r}" if args.state else ""))
+        return 0
+    now = time.time()
+    for record in records:
+        age = ""
+        if record["finished_at"] is not None:
+            age = f" finished {max(now - record['finished_at'], 0):.0f}s ago"
+        error = ""
+        if record["error"]:
+            code = record["error_code"] or "error"
+            error = f" [{code}: {record['error']}]"
+        workloads = ",".join(record["workloads"]) or "-"
+        print(f"{record['job']}  {record['state']:<9} "
+              f"tenant={record['tenant']} attempts={record['attempts']} "
+              f"events={record['events']} {workloads}{age}{error}")
+    print(f"{len(records)} record{'' if len(records) == 1 else 's'}")
     return 0
 
 
@@ -524,6 +625,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "eval": _cmd_eval,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
+        "jobs": _cmd_jobs,
         "show": _cmd_show,
     }
     handler = commands[args.command]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -40,6 +41,7 @@ from repro.arch.config import (
     default_delta_config,
 )
 from repro.eval.cache import EvalCache, comparison_key
+from repro.store.metrics import NULL_METRICS
 from repro.workloads import all_workloads
 from repro.workloads.base import Workload
 
@@ -65,23 +67,32 @@ class _Cancelled(Exception):
 #: How often a cancellable wait re-checks the cancel event, in seconds.
 _CANCEL_POLL_S = 0.05
 
+#: How many times one point may lose its worker (breaking the pool) and
+#: still be resubmitted to a rebuilt pool before the serial fallback.
+_WORKER_DEATH_RETRIES = 1
+
 
 def _await_result(future, timeout: Optional[float],
-                  cancel: Optional[threading.Event]):
+                  cancel: Optional[threading.Event],
+                  heartbeat: Optional[Callable[[], None]] = None):
     """Wait on a pool future under an optional budget and cancel event.
 
     Returns the future's result; raises :class:`FutureTimeoutError` when
     the budget runs out first, :class:`_Cancelled` when the event fires
-    first. Without a cancel event this is exactly ``future.result``; with
-    one, the wait polls in short slices so cooperative cancellation takes
-    effect within :data:`_CANCEL_POLL_S` rather than after the (possibly
-    unbounded) point finishes.
+    first. Without a cancel event or heartbeat this is exactly
+    ``future.result``; with either, the wait polls in short slices so
+    cooperative cancellation takes effect within :data:`_CANCEL_POLL_S`
+    rather than after the (possibly unbounded) point finishes, and
+    ``heartbeat()`` fires every slice — how a served job's lease stays
+    warm while its points compute.
     """
-    if cancel is None:
+    if cancel is None and heartbeat is None:
         return future.result(timeout=timeout)
     deadline = None if timeout is None else time.monotonic() + timeout
     while True:
-        if cancel.is_set():
+        if heartbeat is not None:
+            heartbeat()
+        if cancel is not None and cancel.is_set():
             raise _Cancelled()
         slice_s = _CANCEL_POLL_S
         if deadline is not None:
@@ -120,6 +131,24 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return 1
 
 
+def _worker_init() -> None:
+    """Reset inherited signal plumbing in a freshly started pool worker.
+
+    Fork-context workers inherit the parent's signal handlers *and* its
+    ``signal.set_wakeup_fd`` target. Under an asyncio host (``repro
+    serve``) that target is the event loop's self-pipe, so a SIGTERM
+    delivered to a worker — which is exactly what broken-pool cleanup
+    sends to the survivors after a sibling dies — would (a) be swallowed
+    by the inherited no-op handler, leaving an orphan, and (b) be
+    *forwarded into the parent's loop* through the shared pipe, making
+    the server believe it was asked to shut down. Restoring defaults
+    keeps worker signals inside the worker.
+    """
+    signal.set_wakeup_fd(-1)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, signal.SIG_DFL)
+
+
 def _compare_point(spec: PointSpec):
     """Worker entry: run one point through the ordinary serial path."""
     from repro.eval.runner import compare
@@ -155,7 +184,8 @@ def _recover_point(spec: PointSpec, timeout: Optional[float],
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else "spawn")
-        pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=context,
+                                   initializer=_worker_init)
         future = pool.submit(_compare_point, spec)
         return _await_result(future, timeout, cancel)
     except _Cancelled:
@@ -182,28 +212,45 @@ def run_points(points: Sequence[PointSpec],
                timeout: Optional[float] = None,
                outcomes: Optional[list] = None,
                cancel: Optional[threading.Event] = None,
-               on_point: Optional[PointCallback] = None) -> list:
+               on_point: Optional[PointCallback] = None,
+               heartbeat: Optional[Callable[[], None]] = None,
+               max_pool_rebuilds: int = 1,
+               metrics=NULL_METRICS) -> list:
     """Evaluate points, fanning out over ``jobs`` worker processes.
 
     ``timeout`` bounds each point's wall-clock seconds in the pool; a
-    point that exceeds it (or fails to pickle, or loses its worker) is
-    recomputed serially in the parent — still under the same budget when
-    the failure was a timeout (see :func:`_recover_point`). Genuine
-    simulation errors — a workload failing functional verification, an
-    invalid configuration — therefore surface exactly as the serial path
-    would raise them.
+    point that exceeds it (or fails to pickle) is recomputed serially in
+    the parent — still under the same budget when the failure was a
+    timeout (see :func:`_recover_point`). Genuine simulation errors — a
+    workload failing functional verification, an invalid configuration —
+    therefore surface exactly as the serial path would raise them.
+
+    **Worker death is survivable.** A ``kill -9`` of a pool child breaks
+    the whole ``ProcessPoolExecutor`` (every unfinished future poisons
+    with ``BrokenProcessPool``); instead of falling back to serial for
+    the rest of the batch, the pool is rebuilt (up to
+    ``max_pool_rebuilds`` times) and only the poisoned points are
+    resubmitted. A point that completes in a rebuilt pool reports outcome
+    ``"retried"``; a point that keeps killing its worker (more than
+    :data:`_WORKER_DEATH_RETRIES` deaths, or deaths past the rebuild
+    budget) is recomputed serially with outcome ``"lost-worker"`` — one
+    murdered child degrades to one retried point, never a failed sweep.
+    ``metrics`` (an object with ``add``) counts ``worker_deaths``,
+    ``pool_rebuilds``, ``retried_points`` and ``lost_worker_points``.
 
     ``cancel`` is a cooperative stop: once the event fires, every point
     not yet computed — including one mid-recompute after a timeout —
     resolves to result ``None`` with outcome ``"cancelled"``; nothing is
-    raised. ``on_point(index, result, outcome)`` fires as each point
-    resolves (the streaming seam ``repro serve`` feeds from); a callback
-    exception propagates and aborts the batch.
+    raised. ``heartbeat()`` fires once per poll slice while any point is
+    awaited — the lease-renewal seam for ``repro serve``.
+    ``on_point(index, result, outcome)`` fires as each point resolves
+    (the streaming seam ``repro serve`` feeds from); a callback exception
+    propagates and aborts the batch.
 
-    ``outcomes``, when given, is filled in place with one entry per point:
-    ``"ok"`` (computed normally), ``"recovered"`` (serial fallback after a
-    non-timeout failure), ``"recovered-after-timeout"``, or
-    ``"cancelled"``.
+    ``outcomes``, when given, is filled in place with one entry per
+    point: ``"ok"``, ``"retried"``, ``"lost-worker"``, ``"recovered"``
+    (serial fallback after a non-timeout failure),
+    ``"recovered-after-timeout"``, or ``"cancelled"``.
     """
     points = list(points)
     results: list = [None] * len(points)
@@ -219,66 +266,118 @@ def run_points(points: Sequence[PointSpec],
 
     if jobs <= 1 or len(points) <= 1:
         for index, spec in enumerate(points):
+            if heartbeat is not None:
+                heartbeat()
             if cancel is not None and cancel.is_set():
                 settle(index, None, "cancelled")
             else:
                 settle(index, _compare_point(spec), "ok")
         return results
 
-    redo: list[int] = []
+    redo: list[int] = []          # serial fallback: non-pool failures
+    lost: list[int] = []          # serial fallback: repeat worker-killers
     timed_out: set[int] = set()
     cancelled: set[int] = set()
-    pool = None
+    #: index -> how many times this point's worker died under it.
+    deaths: dict[int, int] = {}
+    pending = list(range(len(points)))
+    rebuilds = 0
     try:
-        # fork (where available) shares the already-imported simulator;
-        # spawn works too because workers only need the repro package.
-        context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn")
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(points)),
-                                   mp_context=context)
-        futures = [pool.submit(_compare_point, spec) for spec in points]
-        pool_broken = False
-        for index, future in enumerate(futures):
-            if cancel is not None and cancel.is_set():
-                future.cancel()
-                cancelled.add(index)
-                continue
-            if pool_broken:
-                redo.append(index)
-                continue
+        while pending:
+            # fork (where available) shares the already-imported
+            # simulator; spawn works too because workers only need the
+            # repro package.
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=context,
+                initializer=_worker_init)
+            broken_inflight: list[int] = []
+            pool_broken = False
             try:
-                settle(index, _await_result(future, timeout, cancel), "ok")
-            except _Cancelled:
-                future.cancel()
-                cancelled.add(index)
-            except FutureTimeoutError:
-                future.cancel()
-                timed_out.add(index)
-                redo.append(index)
-            except Exception:
-                # BrokenProcessPool poisons every later future; any
-                # other per-point error is retried serially so the
-                # serial path is the one that reports it.
-                from concurrent.futures.process import BrokenProcessPool
+                futures = {index: pool.submit(_compare_point, points[index])
+                           for index in pending}
+                for index in pending:
+                    future = futures[index]
+                    if cancel is not None and cancel.is_set():
+                        future.cancel()
+                        cancelled.add(index)
+                        continue
+                    if pool_broken:
+                        # Poisoned by the same break; classified below.
+                        broken_inflight.append(index)
+                        continue
+                    try:
+                        settle(index,
+                               _await_result(future, timeout, cancel,
+                                             heartbeat),
+                               "retried" if deaths.get(index) else "ok")
+                        if deaths.get(index):
+                            metrics.add("retried_points")
+                    except _Cancelled:
+                        future.cancel()
+                        cancelled.add(index)
+                    except FutureTimeoutError:
+                        future.cancel()
+                        timed_out.add(index)
+                        redo.append(index)
+                    except Exception:
+                        # BrokenProcessPool poisons every later future;
+                        # any other per-point error is retried serially
+                        # so the serial path is the one that reports it.
+                        from concurrent.futures.process import \
+                            BrokenProcessPool
 
-                if isinstance(future.exception(), BrokenProcessPool):
-                    pool_broken = True
-                redo.append(index)
+                        if isinstance(future.exception(),
+                                      BrokenProcessPool):
+                            pool_broken = True
+                            metrics.add("worker_deaths")
+                            broken_inflight.append(index)
+                        else:
+                            redo.append(index)
+            finally:
+                # wait=False: a worker stuck past its timeout must not
+                # block the fallback path; its point is recomputed in
+                # the parent.
+                pool.shutdown(wait=False, cancel_futures=True)
+            pending = []
+            if broken_inflight:
+                for index in broken_inflight:
+                    deaths[index] = deaths.get(index, 0) + 1
+                if rebuilds < max_pool_rebuilds:
+                    rebuilds += 1
+                    metrics.add("pool_rebuilds")
+                    for index in broken_inflight:
+                        if deaths[index] > _WORKER_DEATH_RETRIES:
+                            lost.append(index)
+                        else:
+                            pending.append(index)
+                else:
+                    # Rebuild budget spent: whatever was in flight goes
+                    # to the bounded serial path instead of a new pool.
+                    lost.extend(broken_inflight)
     except Exception:
         # Pool creation / submission failed (e.g. unpicklable workload):
-        # the whole batch falls back to serial.
+        # everything unresolved falls back to serial.
         redo = [i for i, r in enumerate(results) if r is None
-                and i not in cancelled]
-    finally:
-        if pool is not None:
-            # wait=False: a worker stuck past its timeout must not block
-            # the fallback path; its point is recomputed in the parent.
-            pool.shutdown(wait=False, cancel_futures=True)
+                and i not in cancelled and i not in lost]
 
     for index in sorted(cancelled):
         settle(index, None, "cancelled")
+    for index in sorted(lost):
+        if heartbeat is not None:
+            heartbeat()
+        try:
+            result = _recover_point(points[index], None, cancel)
+        except _Cancelled:
+            settle(index, None, "cancelled")
+            continue
+        metrics.add("lost_worker_points")
+        settle(index, result, "lost-worker")
     for index in redo:
+        if heartbeat is not None:
+            heartbeat()
         bounded = index in timed_out
         try:
             result = _recover_point(points[index],
@@ -302,7 +401,9 @@ def run_suite_parallel(lanes: int = 8,
                        faults=None,
                        outcomes: Optional[list] = None,
                        cancel: Optional[threading.Event] = None,
-                       on_result: Optional[PointCallback] = None) -> list:
+                       on_result: Optional[PointCallback] = None,
+                       heartbeat: Optional[Callable[[], None]] = None,
+                       metrics=NULL_METRICS) -> list:
     """Parallel, cached equivalent of :func:`repro.eval.runner.run_suite`.
 
     Returns one :class:`Comparison` per workload, in input order,
@@ -318,7 +419,10 @@ def run_suite_parallel(lanes: int = 8,
     ``outcomes``, when given, is filled with one per-workload entry:
     ``"cached"``, ``"coalesced"`` (shared a duplicate's computation),
     ``"cancelled"`` (see below), or the :func:`run_points` outcome
-    (``"ok"`` / ``"recovered"`` / ``"recovered-after-timeout"``).
+    (``"ok"`` / ``"retried"`` / ``"lost-worker"`` / ``"recovered"`` /
+    ``"recovered-after-timeout"``). ``heartbeat`` and ``metrics`` are
+    passed through to :func:`run_points` (lease renewal and pool-health
+    counters for ``repro serve``).
 
     ``cancel`` stops the sweep cooperatively: every point not yet resolved
     when the event fires returns ``None`` with outcome ``"cancelled"``
@@ -387,5 +491,6 @@ def run_suite_parallel(lanes: int = 8,
 
     run_points([spec for _i, _k, spec in pending],
                jobs=resolve_jobs(jobs), timeout=timeout,
-               cancel=cancel, on_point=on_point)
+               cancel=cancel, on_point=on_point,
+               heartbeat=heartbeat, metrics=metrics)
     return results

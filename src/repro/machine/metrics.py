@@ -241,10 +241,55 @@ class ServeMetrics(CounterGroup):
     stream_stalls = metric(
         "stream_stalls",
         "Event-stream writes that found the client's buffer still full.")
+    lease_renewals = metric(
+        "lease_renewals", "Heartbeats that extended a running job's lease.")
+    lease_expired = metric(
+        "lease_expired",
+        "Running jobs whose lease deadline passed without a heartbeat.")
+    lease_requeued = metric(
+        "lease_requeued",
+        "Expired-lease jobs re-queued with backoff for another attempt.")
+    lease_failed = metric(
+        "lease_failed",
+        "Expired-lease jobs that exhausted the retry budget (typed "
+        "lease-expired failure).")
+    lease_zombie = metric(
+        "lease_zombie",
+        "Stale completions discarded because the finishing worker no "
+        "longer held the job's lease.")
+    shed = metric(
+        "shed",
+        "Submissions shed by overload control (global queue-depth or "
+        "per-tenant backlog cap; typed 503).")
+    gc_jobs = metric(
+        "gc_jobs", "Terminal job records pruned by the TTL sweep.")
 
     def mean_queue_wait_s(self) -> float:
         """Average queued-to-started wait (0 when nothing started yet)."""
         return self.queue_wait_s / self.started if self.started else 0.0
+
+
+class EvalMetrics(CounterGroup):
+    """Harness-side evaluation-pool health (written by
+    :mod:`repro.eval.parallel`).
+
+    Like ``cache.*``/``serve.*``, these are written by the process driving
+    a sweep, never by a simulated machine, so run fingerprints and the
+    golden files cannot see them.
+    """
+
+    prefix = "eval"
+    worker_deaths = metric(
+        "worker_deaths",
+        "Process-pool breakages observed (a worker died mid-point).")
+    pool_rebuilds = metric(
+        "pool_rebuilds", "Worker pools rebuilt after a breakage.")
+    retried_points = metric(
+        "retried_points",
+        "Points that lost a worker and completed in a rebuilt pool.")
+    lost_worker_points = metric(
+        "lost_worker_points",
+        "Points past the worker-death retry cap, recomputed serially.")
 
 
 class PrefetchMetrics(CounterGroup):
@@ -374,6 +419,7 @@ class MetricsBus(Counters):
         self.sched = SchedMetrics(self)
         self.cache = CacheMetrics(self)
         self.serve = ServeMetrics(self)
+        self.eval = EvalMetrics(self)
         self.prefetch = PrefetchMetrics(self)
         self.runtime = RuntimeMetrics(self)
         self.static = StaticScheduleMetrics(self)

@@ -11,9 +11,14 @@ One :class:`Server` composes the whole subsystem:
 - the :class:`~repro.serve.executor.JobExecutor`, which fans each claimed
   job out through :mod:`repro.eval.parallel` in a small worker-thread
   pool, coalescing duplicate in-flight sweeps;
+- a **watchdog task** that enforces job leases (a crashed or wedged
+  worker's job is requeued with backoff, then failed typed once its
+  retry budget is spent) and ages terminal job history out of the store;
 - one :class:`~repro.machine.metrics.MetricsBus` whose ``cache.*`` group
-  is wired into the store/eval-cache and whose ``serve.*`` group counts
-  the server's own activity — both reported by ``/healthz``.
+  is wired into the store/eval-cache, whose ``serve.*`` group counts
+  the server's own activity (including ``lease_*`` and ``shed``), and
+  whose ``eval.*`` group counts worker-pool health — all reported by
+  ``/healthz``.
 
 Threading model: the event loop owns every job's event log (worker
 threads publish points via ``call_soon_threadsafe``), the queue is
@@ -54,6 +59,12 @@ class Server:
                  timeout: Optional[float] = None,
                  max_active_per_tenant: int = 8,
                  max_concurrent_jobs: int = 2,
+                 lease_s: float = 15.0,
+                 max_lease_attempts: int = 3,
+                 max_queued: Optional[int] = None,
+                 max_backlog_per_tenant: Optional[int] = None,
+                 job_ttl_s: float = 24 * 3600.0,
+                 watchdog_interval_s: float = 0.5,
                  start_paused: bool = False) -> None:
         self.host = host
         self.port = port
@@ -62,12 +73,21 @@ class Server:
                                 metrics=self.bus.cache)
         self.queue = JobQueue(store=self.store,
                               max_active_per_tenant=max_active_per_tenant,
+                              lease_s=lease_s,
+                              max_lease_attempts=max_lease_attempts,
+                              max_queued=max_queued,
+                              max_backlog_per_tenant=max_backlog_per_tenant,
                               metrics=self.bus.serve)
         self.cache = None if no_cache else EvalCache(store=self.store)
         self.executor = JobExecutor(self.cache, jobs=jobs, timeout=timeout,
+                                    heartbeat=self.queue.heartbeat,
+                                    job_alive=self.queue.job_alive,
                                     store_metrics=self.bus.cache,
-                                    serve_metrics=self.bus.serve)
+                                    serve_metrics=self.bus.serve,
+                                    eval_metrics=self.bus.eval)
         self.max_concurrent_jobs = max_concurrent_jobs
+        self.job_ttl_s = job_ttl_s
+        self.watchdog_interval_s = watchdog_interval_s
         self.start_paused = start_paused
         #: Set once the socket is bound and ``port`` holds the real port —
         #: a ``threading.Event`` so background-thread servers are awaitable
@@ -77,6 +97,7 @@ class Server:
         self._server: Optional[asyncio.base_events.Server] = None
         self._workers: Optional[ThreadPoolExecutor] = None
         self._scheduler: Optional[asyncio.Task] = None
+        self._watchdog: Optional[asyncio.Task] = None
         self._wake: Optional[asyncio.Event] = None
         self._stop_requested: Optional[asyncio.Event] = None
         self._changed: dict[str, asyncio.Event] = {}
@@ -98,6 +119,7 @@ class Server:
         self.port = self._server.sockets[0].getsockname()[1]
         if not self.start_paused:
             self._scheduler = self._loop.create_task(self._schedule_loop())
+        self._watchdog = self._loop.create_task(self._watchdog_loop())
         self.ready.set()
 
     def resume(self) -> None:
@@ -118,13 +140,15 @@ class Server:
         interrupted work is replayed, never lost.
         """
         self._stopping = True
-        if self._scheduler is not None:
-            self._scheduler.cancel()
-            try:
-                await self._scheduler
-            except asyncio.CancelledError:
-                pass
-            self._scheduler = None
+        for attr in ("_scheduler", "_watchdog"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         for job in self.queue.jobs():
             if job.state == "running":
                 job.cancel.set()
@@ -185,6 +209,11 @@ class Server:
             self._loop.create_task(self._run_job(job, slots))
 
     async def _run_job(self, job: Job, slots: asyncio.Semaphore) -> None:
+        # Pin the claim incarnation: if the watchdog revokes this lease
+        # and requeues the job while we compute, the stale owner token
+        # makes our eventual finish a discarded zombie, not a double
+        # completion.
+        owner = job.owner
         try:
             def emit(event: dict) -> None:
                 # Worker thread -> loop: the loop owns every event log.
@@ -193,11 +222,35 @@ class Server:
             state, error = await self._loop.run_in_executor(
                 self._workers, self.executor.run_job, job, emit)
             if not self._stopping:
-                self.queue.finish(job.id, state, error)
+                self.queue.finish(job.id, state, error, owner=owner)
                 self._notify(job.id)
         finally:
             slots.release()
             self._wake.set()
+
+    async def _watchdog_loop(self) -> None:
+        """Lease enforcement + terminal-history GC, on one timer.
+
+        Every tick, expired leases are requeued (or retired — see
+        :meth:`~repro.serve.queue.JobQueue.expire_leases`); much less
+        often, terminal jobs past their TTL are dropped from memory and
+        disk. GC cadence is coarse (half the TTL, capped at a minute) —
+        the sweep walks the jobs namespace, so it must not run per tick.
+        """
+        gc_every = max(self.watchdog_interval_s,
+                       min(60.0, self.job_ttl_s / 2))
+        next_gc = self._loop.time() + gc_every
+        while True:
+            await asyncio.sleep(self.watchdog_interval_s)
+            affected = self.queue.expire_leases()
+            for job in affected:
+                self._notify(job.id)
+            if affected:
+                self._wake.set()  # requeued work is claimable now
+            if self._loop.time() >= next_gc:
+                await self._loop.run_in_executor(
+                    None, self.queue.gc_terminal, self.job_ttl_s)
+                next_gc = self._loop.time() + gc_every
 
     def _publish(self, job: Job, event: dict) -> None:
         job.events.append(event)
@@ -318,8 +371,20 @@ class Server:
                    for name in ("submitted", "started", "completed",
                                 "cancelled", "rejected", "failed",
                                 "replayed", "coalesced_sweeps", "points",
-                                "stream_stalls")},
+                                "stream_stalls", "lease_renewals",
+                                "lease_expired", "lease_requeued",
+                                "lease_failed", "lease_zombie", "shed",
+                                "gc_jobs")},
                 "queue_wait_s": self.bus.serve.queue_wait_s,
                 "mean_queue_wait_s": self.bus.serve.mean_queue_wait_s(),
+            },
+            "eval": {name: self.bus.eval.get(name)
+                     for name in ("worker_deaths", "pool_rebuilds",
+                                  "retried_points", "lost_worker_points")},
+            "overload": {
+                "max_queued": self.queue.max_queued,
+                "max_backlog_per_tenant":
+                    self.queue.max_backlog_per_tenant,
+                "retry_after_s": self.queue.retry_after_s(),
             },
         }

@@ -17,7 +17,16 @@ harness stack:
 - a leader that is *cancelled* mid-flight poisons its followers with
   :class:`SweepCancelled`; a follower that was not itself cancelled
   retries (becoming the new leader), so one tenant's DELETE can never
-  cancel another tenant's identical job.
+  cancel another tenant's identical job;
+- a leader that *dies* (worker thread wedged, lease revoked) is detected
+  through the queue's lease machinery: followers poll
+  ``job_alive(leader_job, leader_owner)`` while they wait, and once the
+  leader's lease lapses a follower unseats it in the coalescer and
+  computes the sweep itself — no follower ever waits forever on a corpse.
+
+While computing (and while waiting as a follower) the executor heartbeats
+the job's lease through the ``heartbeat`` hook, so only a genuinely dead
+or wedged worker loses its claim.
 
 The executor runs in worker threads (the server's event loop stays free
 for sockets); ``emit`` callbacks must therefore be thread-safe — the
@@ -37,6 +46,9 @@ from repro.serve.queue import CANCELLED, COMPLETED, FAILED, Job
 from repro.store import Coalescer
 from repro.store.metrics import NULL_METRICS
 
+#: How often a coalesced follower re-checks its leader's pulse, seconds.
+FOLLOWER_POLL_S = 0.25
+
 
 class SweepCancelled(Exception):
     """The sweep's leader was cancelled before finishing.
@@ -53,15 +65,33 @@ class JobExecutor:
     def __init__(self, cache: Optional[EvalCache] = None, *,
                  jobs: Optional[int] = None,
                  timeout: Optional[float] = None,
+                 heartbeat: Optional[Callable[[str, Optional[str]],
+                                              bool]] = None,
+                 job_alive: Optional[Callable[[str, Optional[str]],
+                                              bool]] = None,
+                 follower_poll_s: float = FOLLOWER_POLL_S,
                  store_metrics=NULL_METRICS,
-                 serve_metrics=NULL_METRICS) -> None:
+                 serve_metrics=NULL_METRICS,
+                 eval_metrics=NULL_METRICS) -> None:
         self.cache = cache
         self.jobs = jobs
         self.timeout = timeout
+        #: Lease hooks, wired to the server's queue (None standalone):
+        #: ``heartbeat(job_id, owner)`` renews our claim while we work;
+        #: ``job_alive(job_id, owner)`` asks whether a *leader's* claim
+        #: still stands, bounding how long followers wait on it.
+        self.heartbeat = heartbeat
+        self.job_alive = job_alive
+        self.follower_poll_s = follower_poll_s
         self.serve_metrics = serve_metrics
+        self.eval_metrics = eval_metrics
         #: Sweep-level single flight: identical in-flight jobs share one
         #: computation (counted on the shared ``cache.coalesced`` metric).
         self.coalescer = Coalescer(metrics=store_metrics)
+        #: sweep_key -> (job id, owner token) of the current leader, so
+        #: followers know whose lease to watch.
+        self._leaders: dict[str, tuple[str, Optional[str]]] = {}
+        self._leaders_lock = threading.Lock()
 
     def run_job(self, job: Job,
                 emit: Callable[[dict], None]) -> tuple[str, Optional[str]]:
@@ -71,13 +101,41 @@ class JobExecutor:
         so the server's scheduler loop cannot be killed by a bad spec or
         a workload that fails verification.
         """
+        # Pin this claim incarnation. A lease revocation swaps the Job's
+        # cancel event for a fresh one; we must keep acting on *ours* so
+        # the new incarnation is undisturbed by its zombie predecessor.
+        cancel = job.cancel
+        owner = job.owner
+        key = job.spec.sweep_key()
+
+        def pulse() -> None:
+            if self.heartbeat is not None:
+                self.heartbeat(job.id, owner)
+
+        def leader_abandoned() -> bool:
+            # Runs once per follower poll slice: keep our own lease warm,
+            # bail out if we were cancelled, and take over if the
+            # leader's claim is gone.
+            pulse()
+            if cancel.is_set():
+                return True
+            if self.job_alive is None:
+                return False
+            with self._leaders_lock:
+                leader = self._leaders.get(key)
+            if leader is None or leader[0] == job.id:
+                return False
+            return not self.job_alive(*leader)
+
         while True:
             try:
                 leader_id, events = self.coalescer.run(
-                    job.spec.sweep_key(),
-                    lambda: self._compute_sweep(job, emit))
+                    key,
+                    lambda: self._compute_sweep(job, owner, cancel, emit),
+                    poll_s=self.follower_poll_s,
+                    abandoned=leader_abandoned)
             except SweepCancelled:
-                if job.cancel.is_set():
+                if cancel.is_set():
                     return CANCELLED, None
                 # Our leader died cancelled but *we* were not cancelled:
                 # go round again and compute the sweep ourselves.
@@ -87,7 +145,7 @@ class JobExecutor:
             if leader_id == job.id:
                 # We were the leader; events already streamed live.
                 return COMPLETED, None
-            if job.cancel.is_set():
+            if cancel.is_set():
                 return CANCELLED, None
             # Follower: replay the leader's per-point results under the
             # coalesced outcome — same numbers, zero simulations.
@@ -100,7 +158,8 @@ class JobExecutor:
                 self.serve_metrics.add("points")
             return COMPLETED, None
 
-    def _compute_sweep(self, job: Job,
+    def _compute_sweep(self, job: Job, owner: Optional[str],
+                       cancel: threading.Event,
                        emit: Callable[[dict], None]) -> tuple[str, list]:
         """Leader path: actually run the sweep, emitting live points.
 
@@ -110,24 +169,40 @@ class JobExecutor:
         from repro.workloads import get_workload
 
         spec = job.spec
-        workloads = [get_workload(name) for name in spec.workloads]
-        delta_config = default_delta_config(lanes=spec.lanes,
-                                            seed=spec.seed)
-        delta_config = delta_config.with_policy(spec.policy)
-        events: list = []
+        key = spec.sweep_key()
+        with self._leaders_lock:
+            self._leaders[key] = (job.id, owner)
+        try:
+            workloads = [get_workload(name) for name in spec.workloads]
+            delta_config = default_delta_config(lanes=spec.lanes,
+                                                seed=spec.seed)
+            delta_config = delta_config.with_policy(spec.policy)
+            events: list = []
 
-        def on_result(index: int, comparison, outcome: str) -> None:
-            event = point_event(index, comparison, outcome)
-            events.append(event)
-            emit(event)
-            self.serve_metrics.add("points")
+            def on_result(index: int, comparison, outcome: str) -> None:
+                event = point_event(index, comparison, outcome)
+                events.append(event)
+                emit(event)
+                self.serve_metrics.add("points")
 
-        run_suite_parallel(lanes=spec.lanes, workloads=workloads,
-                           jobs=self.jobs, verify=spec.verify,
-                           timeout=self.timeout, cache=self.cache,
-                           delta_config=delta_config,
-                           sanitize=spec.sanitize,
-                           cancel=job.cancel, on_result=on_result)
-        if job.cancel.is_set():
-            raise SweepCancelled(job.id)
-        return job.id, events
+            def pulse() -> None:
+                if self.heartbeat is not None:
+                    self.heartbeat(job.id, owner)
+
+            run_suite_parallel(lanes=spec.lanes, workloads=workloads,
+                               jobs=self.jobs, verify=spec.verify,
+                               timeout=self.timeout, cache=self.cache,
+                               delta_config=delta_config,
+                               sanitize=spec.sanitize,
+                               cancel=cancel, on_result=on_result,
+                               heartbeat=pulse,
+                               metrics=self.eval_metrics)
+            if cancel.is_set():
+                raise SweepCancelled(job.id)
+            return job.id, events
+        finally:
+            with self._leaders_lock:
+                # A takeover may have installed a new leader while we
+                # wedged; never evict a successor's registration.
+                if self._leaders.get(key) == (job.id, owner):
+                    del self._leaders[key]

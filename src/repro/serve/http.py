@@ -31,7 +31,7 @@ _REASONS = {200: "OK", 201: "Created", 202: "Accepted",
             400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 408: "Request Timeout",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 class ProtocolError(ServeError):
@@ -120,19 +120,27 @@ class Responder:
                 f"Content-Type: {content_type}\r\n"
                 f"Connection: close\r\n\r\n").encode("latin-1")
 
-    async def send_json(self, status: int, payload: object) -> None:
+    async def send_json(self, status: int, payload: object,
+                        headers: Optional[dict[str, str]] = None) -> None:
         """One complete JSON response."""
         body = (json.dumps(payload) + "\n").encode("utf-8")
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in (headers or {}).items())
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n").encode("latin-1")
         self.started = True
         self.writer.write(head + body)
         await self.writer.drain()
 
     async def send_error(self, error: ServeError) -> None:
-        await self.send_json(error.status, error.to_json())
+        headers = None
+        retry_after = getattr(error, "retry_after_s", None)
+        if retry_after is not None:
+            headers = {"Retry-After": str(int(retry_after))}
+        await self.send_json(error.status, error.to_json(), headers=headers)
 
     async def start_stream(self, status: int = 200) -> None:
         """Open an NDJSON stream (ends when the connection closes)."""

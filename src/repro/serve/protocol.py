@@ -27,7 +27,9 @@ from typing import Optional
 from repro.store import stable_hash
 
 #: Bump when the persisted job layout or the event schema changes.
-PROTOCOL_VERSION = 1
+#: v2: job records grew lease fields (owner, attempts, next_eligible_at,
+#: finished_at) and typed error codes on ``failed`` events.
+PROTOCOL_VERSION = 2
 
 
 # -- typed errors -----------------------------------------------------------
@@ -62,6 +64,24 @@ class QuotaExceeded(ServeError):
 
     code = "quota-exceeded"
     status = 429
+
+
+class QueueOverloaded(ServeError):
+    """The server is shedding load: the global queue (or this tenant's
+    backlog) is at capacity. Carries a ``Retry-After`` hint, in seconds,
+    derived from the queue's recent drain rate."""
+
+    code = "overloaded"
+    status = 503
+
+    def __init__(self, message: str, retry_after_s: int = 5) -> None:
+        super().__init__(message)
+        self.retry_after_s = max(1, int(retry_after_s))
+
+    def to_json(self) -> dict:
+        body = super().to_json()
+        body["error"]["retry_after_s"] = self.retry_after_s
+        return body
 
 
 class UnknownJob(ServeError):

@@ -1,13 +1,25 @@
 """In-process request coalescing: one computation per in-flight key.
 
-A sweep (or, later, the ``repro serve`` front-end) can receive the same
-point twice while the first computation is still running. The cache only
-helps once a result is *published*; the :class:`Coalescer` closes the
-in-flight window: the first caller of a key becomes the leader and
-computes, every concurrent caller of the same key blocks on the leader's
-future and shares its result (or its exception). When the leader
-finishes, the key leaves the in-flight map — completed results are the
-cache's job, not this class's.
+A sweep (or the ``repro serve`` front-end) can receive the same point
+twice while the first computation is still running. The cache only helps
+once a result is *published*; the :class:`Coalescer` closes the in-flight
+window: the first caller of a key becomes the leader and computes, every
+concurrent caller of the same key blocks on the leader's future and
+shares its result (or its exception). When the leader finishes, the key
+leaves the in-flight map — completed results are the cache's job, not
+this class's.
+
+Followers can optionally wait *bounded*: with ``poll_s``/``abandoned``
+given, a follower re-checks ``abandoned()`` every poll slice and, once it
+reports the leader dead (its thread wedged, its process killed, its lease
+expired — the predicate is the caller's), the follower **takes over
+leadership**: it unseats the dead leader's future from the in-flight map
+and loops back to the top, becoming the new leader (or a follower of
+whoever beat it there). A late result from the unseated leader still
+resolves its old future — stragglers blocked on it are served, and the
+unseated leader's cleanup is guarded so it never evicts its successor.
+This is what keeps a coalesced-sweep follower from waiting forever on a
+leader that will never answer.
 
 Thread-safe; single-threaded callers pay one dict lookup. The process
 pool in :mod:`repro.eval.parallel` coalesces by key-deduplicating its
@@ -19,7 +31,8 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Callable, TypeVar
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Optional, TypeVar
 
 from repro.store.metrics import NULL_METRICS
 
@@ -34,36 +47,60 @@ class Coalescer:
         self._lock = threading.Lock()
         self._inflight: dict[str, Future] = {}
 
-    def run(self, key: str, compute: Callable[[], T]) -> T:
+    def run(self, key: str, compute: Callable[[], T], *,
+            poll_s: Optional[float] = None,
+            abandoned: Optional[Callable[[], bool]] = None) -> T:
         """Compute ``key`` once across concurrent callers.
 
         The leader runs ``compute()``; followers arriving while it runs
         count one ``coalesced`` metric each and receive the leader's
         result — or its exception, re-raised in every follower, so a
         failed computation is not silently retried by the pack.
+
+        With ``poll_s`` and ``abandoned`` given, a follower's wait is
+        bounded: every ``poll_s`` seconds it calls ``abandoned()`` and,
+        on True, unseats the presumed-dead leader and retries the key —
+        becoming the new leader itself, or a follower of whichever
+        caller won the race to replace it.
         """
-        with self._lock:
-            future = self._inflight.get(key)
-            if future is None:
-                future = Future()
-                self._inflight[key] = future
-                leader = True
-            else:
-                leader = False
-        if not leader:
-            self.metrics.add("coalesced")
-            return future.result()
-        try:
-            result = compute()
-        except BaseException as exc:
-            future.set_exception(exc)
-            raise
-        else:
-            future.set_result(result)
-            return result
-        finally:
+        while True:
             with self._lock:
-                self._inflight.pop(key, None)
+                future = self._inflight.get(key)
+                if future is None:
+                    future = Future()
+                    self._inflight[key] = future
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                try:
+                    result = compute()
+                except BaseException as exc:
+                    future.set_exception(exc)
+                    raise
+                else:
+                    future.set_result(result)
+                    return result
+                finally:
+                    with self._lock:
+                        # Guard: an unseated leader must not evict its
+                        # successor's in-flight entry.
+                        if self._inflight.get(key) is future:
+                            self._inflight.pop(key)
+            self.metrics.add("coalesced")
+            if poll_s is None or abandoned is None:
+                return future.result()
+            takeover = False
+            while not takeover:
+                try:
+                    return future.result(timeout=poll_s)
+                except FutureTimeoutError:
+                    takeover = abandoned()
+            with self._lock:
+                # Unseat the dead leader (unless someone already did and
+                # a new future is in flight — then just retry the key).
+                if self._inflight.get(key) is future:
+                    self._inflight.pop(key)
 
     def inflight(self) -> int:
         """How many keys are being computed right now."""

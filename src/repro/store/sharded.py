@@ -36,8 +36,9 @@ from __future__ import annotations
 import logging
 import os
 import re
+import time
 from pathlib import Path
-from typing import Callable, Iterator, Optional
+from typing import Callable, Collection, Iterator, Optional
 
 from repro.store.keys import cache_budget_bytes, default_cache_root
 from repro.store.locks import ShardLock
@@ -58,6 +59,13 @@ class ShardedStore:
     SHARD_WIDTH = 2
     #: On-disk entry suffix (schemas pickle their payloads).
     SUFFIX = ".pkl"
+    #: Namespaces that hold *live state*, not recomputable cache entries.
+    #: They are exempt from the LRU size-cap sweep and from a blanket
+    #: ``clear()``: evicting a queued job record would silently lose a
+    #: client's submitted work, which no cache budget may do. Their growth
+    #: is bounded by explicit lifecycle sweeps (:meth:`sweep_aged`,
+    #: ``repro jobs gc``) instead.
+    PROTECTED_NAMESPACES = frozenset({"jobs"})
 
     def __init__(self, root: Optional[Path] = None, *,
                  max_bytes=_BUDGET_FROM_ENV,
@@ -187,17 +195,26 @@ class ShardedStore:
     def clear(self, namespace: Optional[str] = None) -> int:
         """Delete every entry (in one namespace, or all); returns the count.
 
-        Clearing everything also sweeps legacy flat-layout entries
+        Clearing everything skips the :data:`PROTECTED_NAMESPACES` — a
+        ``--clear-cache`` must never delete live job records that share
+        the store root (name a protected namespace explicitly to clear
+        it). Clearing everything also sweeps legacy flat-layout entries
         (``<root>/*.pkl`` from the pre-store cache format) so one
         ``--clear-cache`` leaves nothing stale behind.
         """
         removed = 0
-        for path in list(self._entry_paths(namespace)):
-            try:
-                path.unlink()
-                removed += 1
-            except FileNotFoundError:
-                pass
+        if namespace is None:
+            spaces = [space.name for space in self._namespace_dirs()
+                      if space.name not in self.PROTECTED_NAMESPACES]
+        else:
+            spaces = [namespace]
+        for space in spaces:
+            for path in list(self._entry_paths(space)):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
         if namespace is None and self.root.is_dir():
             for path in self.root.glob(f"*{self.SUFFIX}"):
                 path.unlink(missing_ok=True)
@@ -205,9 +222,14 @@ class ShardedStore:
         return removed
 
     def clear_report(self) -> dict[str, int]:
-        """Per-namespace entry counts removed by clearing everything."""
+        """Per-namespace entry counts removed by clearing everything.
+
+        Protected namespaces (live job records) are neither counted nor
+        cleared.
+        """
         report = {space.name: sum(1 for _ in self._entry_paths(space.name))
-                  for space in self._namespace_dirs()}
+                  for space in self._namespace_dirs()
+                  if space.name not in self.PROTECTED_NAMESPACES}
         report = {name: count for name, count in report.items() if count}
         self.clear()
         return report
@@ -249,21 +271,27 @@ class ShardedStore:
 
         Recency is mtime: publishes and successful reads both refresh it,
         so a warm working set survives while cold sweep residue goes
-        first. Concurrent evictors racing over the same files are safe —
-        an already-gone entry is simply skipped. Returns how many entries
+        first. Entries in :data:`PROTECTED_NAMESPACES` are never
+        candidates (and do not count toward the budget): a size cap may
+        shed recomputable cache entries, never live job records.
+        Concurrent evictors racing over the same files are safe — an
+        already-gone entry is simply skipped. Returns how many entries
         this call evicted.
         """
         if self.max_bytes is None:
             return 0
         entries = []
         total = 0
-        for path in self._entry_paths():
-            try:
-                stat = path.stat()
-            except FileNotFoundError:
+        for space in self._namespace_dirs():
+            if space.name in self.PROTECTED_NAMESPACES:
                 continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-            total += stat.st_size
+            for path in self._entry_paths(space.name):
+                try:
+                    stat = path.stat()
+                except FileNotFoundError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
         if total <= self.max_bytes:
             return 0
         evicted = 0
@@ -279,6 +307,35 @@ class ShardedStore:
             self.metrics.add("evictions")
             self.metrics.add("evicted_bytes", size)
         return evicted
+
+    def sweep_aged(self, max_age_s: float,
+                   namespace: Optional[str] = None,
+                   exempt: Collection[str] = ()) -> int:
+        """Delete entries whose mtime is older than ``max_age_s`` seconds.
+
+        The TTL companion to the size-cap sweep: where
+        :meth:`evict_to_budget` sheds by recency under pressure, this
+        sheds by *age* regardless of pressure — it is how lifecycle
+        owners (the serve watchdog's terminal-history GC, ``repro jobs
+        gc``) bound a protected namespace the LRU sweep must not touch.
+        ``exempt`` keys are never deleted whatever their age — the
+        caller's way of shielding live records. Returns how many entries
+        were removed.
+        """
+        cutoff = time.time() - max_age_s
+        exempt = set(exempt)
+        removed = 0
+        for path in list(self._entry_paths(namespace)):
+            if path.name[:-len(self.SUFFIX)] in exempt:
+                continue
+            try:
+                if path.stat().st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except FileNotFoundError:
+                continue  # concurrently removed
+            removed += 1
+        return removed
 
 
 def open_store(root: Optional[Path] = None,

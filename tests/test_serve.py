@@ -14,9 +14,17 @@ What must hold (see docs/serving.md):
   namespace are replayed by a fresh server;
 - **coalescing**: duplicate in-flight sweeps — even from different
   tenants — compute once, proven by the ``cache.coalesced`` metric;
+- **overload control**: past the global or per-tenant queue-depth cap,
+  submissions shed with a typed 503 carrying ``Retry-After``; the books
+  still balance;
+- **follower takeover**: a coalesced follower bounds its wait on the
+  leader and retries as leader once the leader is declared dead;
+- **jobs CLI**: ``repro jobs list|gc`` reads the persisted ``jobs``
+  namespace directly, with live records shielded from GC;
 - **conservation**: random submit/claim/cancel/finish interleavings never
   violate ``submitted == queued + running + completed + cancelled +
-  failed + rejected`` (Hypothesis property).
+  failed + rejected`` (Hypothesis property; the chaos variant with
+  lease expiry lives in ``tests/test_chaos.py``).
 
 Every server here binds port 0 on localhost and runs in a background
 thread; clients are plain ``http.client`` over the NDJSON protocol.
@@ -86,6 +94,20 @@ def stream(port, job_id, timeout=120):
     finally:
         conn.close()
     return events
+
+
+def request_full(port, method, path, body=None, timeout=120):
+    """Like :func:`request`, but also returns the response headers."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        data = response.read()
+        headers = dict(response.getheaders())
+    finally:
+        conn.close()
+    return response.status, headers, (json.loads(data) if data else None)
 
 
 def submit(port, spec):
@@ -237,6 +259,160 @@ class TestQuotas:
             assert health["queue"]["queued"] == 3
             assert health["tenants"]["greedy"]["active"] == 2
             assert health["conservation_ok"] is True
+
+
+class TestOverloadShedding:
+    def test_global_queue_cap_sheds_typed_503(self, tmp_path):
+        with serving(tmp_path, start_paused=True, max_queued=2) as server:
+            port = server.port
+            submit(port, sweep_spec(seed=1))
+            submit(port, sweep_spec(seed=2))
+            status, headers, body = request_full(
+                port, "POST", "/jobs", body=sweep_spec(seed=3))
+            assert status == 503
+            assert body["error"]["code"] == "overloaded"
+            # Retry-After is advisory load-shedding contract: header and
+            # body must agree and be a positive whole number of seconds.
+            retry_after = int(headers["Retry-After"])
+            assert retry_after >= 1
+            assert body["error"]["retry_after_s"] == retry_after
+
+            health = request(port, "GET", "/healthz")[1]
+            assert health["queue"]["rejected"] == 1
+            assert health["serve"]["shed"] == 1
+            assert health["queue"]["queued"] == 2
+            assert health["conservation_ok"] is True
+            assert health["overload"]["max_queued"] == 2
+
+    def test_backlog_cap_is_per_tenant(self, tmp_path):
+        with serving(tmp_path, start_paused=True,
+                     max_backlog_per_tenant=1) as server:
+            port = server.port
+            submit(port, sweep_spec(tenant="noisy"))
+            status, _headers, body = request_full(
+                port, "POST", "/jobs",
+                body=sweep_spec(tenant="noisy", seed=1))
+            assert status == 503
+            assert body["error"]["code"] == "overloaded"
+            # Another tenant is unaffected by the noisy one's backlog.
+            submit(port, sweep_spec(tenant="quiet"))
+            health = request(port, "GET", "/healthz")[1]
+            assert health["queue"]["queued"] == 2
+            assert health["queue"]["rejected"] == 1
+            assert health["conservation_ok"] is True
+
+
+class TestFollowerTakeover:
+    """A coalesced follower must not wait forever on a dead leader."""
+
+    def test_follower_takes_over_an_abandoned_leader(self):
+        from repro.store import Coalescer
+
+        coalescer = Coalescer()
+        leader_started = threading.Event()
+        leader_release = threading.Event()
+
+        def wedged_leader():
+            leader_started.set()
+            leader_release.wait(30)
+            return "leader"
+
+        leader = threading.Thread(
+            target=lambda: coalescer.run("key", wedged_leader),
+            daemon=True)
+        leader.start()
+        assert leader_started.wait(10)
+
+        polls = []
+
+        def abandoned():
+            polls.append(1)
+            # First two polls: leader still looks alive; third: declared
+            # dead (in the server this is queue.job_alive going False
+            # once the leader's lease expires).
+            return len(polls) >= 3
+
+        result = coalescer.run("key", lambda: "follower",
+                               poll_s=0.01, abandoned=abandoned)
+        assert result == "follower"
+        assert len(polls) == 3
+        leader_release.set()
+        leader.join(10)
+
+    def test_follower_still_waits_on_a_live_leader(self):
+        from repro.store import Coalescer
+
+        coalescer = Coalescer()
+        leader_started = threading.Event()
+        leader_release = threading.Event()
+        results = {}
+
+        def slow_leader():
+            leader_started.set()
+            assert leader_release.wait(30)
+            return "leader"
+
+        leader = threading.Thread(
+            target=lambda: results.update(
+                leader=coalescer.run("key", slow_leader)),
+            daemon=True)
+        leader.start()
+        assert leader_started.wait(10)
+
+        def follower():
+            results["follower"] = coalescer.run(
+                "key", lambda: "follower",
+                poll_s=0.01, abandoned=lambda: False)
+
+        follower_thread = threading.Thread(target=follower, daemon=True)
+        follower_thread.start()
+        time.sleep(0.1)  # let the follower poll a few times
+        leader_release.set()
+        leader.join(10)
+        follower_thread.join(10)
+        # The leader stayed alive, so the follower replays its result
+        # instead of recomputing.
+        assert results == {"leader": "leader", "follower": "leader"}
+
+
+class TestJobsCli:
+    """``repro jobs`` inspects/GCs the jobs namespace with no server."""
+
+    def _seeded_store(self, tmp_path):
+        from repro.store import open_store
+
+        store = open_store(tmp_path / "store")
+        queue = JobQueue(store=store)
+        live = queue.submit(_spec(0))
+        done = queue.submit(_spec(1))
+        claimed = queue.claim_next()
+        assert claimed.id == live.id or claimed.id == done.id
+        # Retire one job; keep the other live (queued or running).
+        other = live.id if claimed.id == done.id else done.id
+        queue.finish(claimed.id, COMPLETED, owner=claimed.owner)
+        return store, claimed.id, other
+
+    def test_list_shows_every_record(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        store, finished, live = self._seeded_store(tmp_path)
+        assert cli_main(["jobs", "list",
+                         "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert finished in out and live in out
+        assert "completed" in out
+
+    def test_gc_prunes_terminal_but_shields_live(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        store, finished, live = self._seeded_store(tmp_path)
+        assert cli_main(["jobs", "gc", "--older-than", "0",
+                         "--cache-dir", str(tmp_path / "store")]) == 0
+        assert cli_main(["jobs", "list",
+                         "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert live in out
+        assert finished not in out
 
 
 class TestCancellation:

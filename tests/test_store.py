@@ -268,6 +268,58 @@ class TestEviction:
         assert cache.store.total_bytes() <= 104
 
 
+# ------------------------------------------ protected namespaces and TTL GC
+
+class TestProtectedNamespaces:
+    """Live job records are never collateral of cache housekeeping."""
+
+    def test_clear_everything_spares_job_records(self, tmp_path):
+        store = ShardedStore(tmp_path, max_bytes=None)
+        store.write("eval", KEY_A, b"cache")
+        store.write("jobs", KEY_B, b"job record")
+        assert store.clear() == 1
+        assert store.read("eval", KEY_A) is None
+        assert store.read("jobs", KEY_B) == b"job record"
+        # Naming the protected namespace explicitly still clears it —
+        # lifecycle owners may, --clear-cache may not.
+        assert store.clear("jobs") == 1
+        assert store.read("jobs", KEY_B) is None
+
+    def test_clear_report_excludes_job_records(self, tmp_path):
+        store = ShardedStore(tmp_path, max_bytes=None)
+        store.write("eval", KEY_A, b"cache")
+        store.write("jobs", KEY_B, b"job record")
+        assert store.clear_report() == {"eval": 1}
+        assert store.read("jobs", KEY_B) == b"job record"
+
+    def test_size_cap_never_evicts_job_records(self, tmp_path):
+        store = ShardedStore(tmp_path, max_bytes=None)
+        store.write("jobs", KEY_A, bytes(100))
+        store.write("eval", KEY_B, bytes(100))
+        # Make the job record the obvious LRU victim — and still exempt:
+        # it is neither a candidate nor counted toward the budget, so the
+        # only way back under the 50-byte cap is shedding the eval entry.
+        old = time.time() - 3600
+        os.utime(store.path_for("jobs", KEY_A), (old, old))
+        store.max_bytes = 50
+        assert store.evict_to_budget() == 1
+        assert store.read("jobs", KEY_A) is not None
+        assert store.read("eval", KEY_B) is None
+
+    def test_sweep_aged_deletes_old_spares_young_and_exempt(self, tmp_path):
+        store = ShardedStore(tmp_path, max_bytes=None)
+        for key in (KEY_A, KEY_B, KEY_C):
+            store.write("jobs", key, b"record")
+        old = time.time() - 3600
+        for key in (KEY_A, KEY_B):
+            os.utime(store.path_for("jobs", key), (old, old))
+        removed = store.sweep_aged(600, namespace="jobs", exempt={KEY_B})
+        assert removed == 1
+        assert store.read("jobs", KEY_A) is None       # old: swept
+        assert store.read("jobs", KEY_B) == b"record"  # old but exempt
+        assert store.read("jobs", KEY_C) == b"record"  # young
+
+
 # ------------------------------------------------------------ shard locks
 
 class TestShardLock:

@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Chaos smoke for the self-healing serve stack (CI runs this).
+
+Drives a real ``repro serve`` subprocess through four disruption phases
+and asserts the system heals with zero manual intervention:
+
+1. **worker murder** — SIGKILL pool children while sweeps compute; every
+   job must still complete (points degrade to ``retried`` /
+   ``lost-worker``, the sweep never fails) and no point computes twice
+   in a job's event stream;
+2. **server SIGKILL mid-job + restart** — a job caught ``running`` by a
+   ``kill -9`` of the whole server must be replayed by the next server's
+   recovery and reach a terminal state, with conservation holding on the
+   restarted process;
+3. **store truncation under the queue** — a persisted job record is
+   overwritten with garbage while the server is down; restart must
+   discard the corrupt record (counted, not crashed) and keep serving;
+4. **overload burst** — submissions past the queue cap must shed with a
+   typed 503 carrying ``Retry-After``, while accepted jobs drain to
+   terminal states and conservation still balances.
+
+Exit code 0 on success; any violation prints a diagnostic and exits 1.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+#: A sweep heavy enough to stay in flight while we aim signals at it.
+WORKLOADS = ["wavefront", "stencil-amr", "cholesky", "knn",
+             "ext-pagerank", "histogram", "bfs", "mergesort"]
+TERMINAL = {"completed", "cancelled", "failed"}
+#: Outcomes a point may legally report under worker murder.
+SURVIVABLE = {"ok", "retried", "lost-worker", "recovered",
+              "recovered-after-timeout", "coalesced"}
+
+
+def fail(message: str) -> None:
+    print(f"chaos smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sweep(seed: int) -> dict:
+    return {"kind": "sweep", "workloads": WORKLOADS, "lanes": 8,
+            "seed": seed}
+
+
+# -- plumbing ----------------------------------------------------------------
+
+def request(port: int, method: str, path: str, body=None):
+    """One HTTP exchange; returns (status, headers dict, decoded body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        data = response.read()
+    finally:
+        conn.close()
+    headers = {k.lower(): v for k, v in response.getheaders()}
+    return response.status, headers, (json.loads(data) if data else None)
+
+
+def stream(port: int, job_id: str) -> list:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/events")
+        response = conn.getresponse()
+        if response.status != 200:
+            fail(f"stream for {job_id} answered {response.status}")
+        return [json.loads(line)
+                for line in response.read().decode().splitlines()]
+    finally:
+        conn.close()
+
+
+def submit(port: int, spec: dict) -> str:
+    status, _headers, body = request(port, "POST", "/jobs", spec)
+    if status != 201:
+        fail(f"submit answered {status}: {body}")
+    return body["job"]
+
+
+def job_state(port: int, job_id: str) -> str:
+    status, _headers, body = request(port, "GET", f"/jobs/{job_id}")
+    if status != 200:
+        fail(f"GET /jobs/{job_id} answered {status}: {body}")
+    return body["state"]
+
+
+def wait_terminal(port: int, job_ids, timeout_s: float = 180.0) -> dict:
+    """Poll every job to a terminal state; returns {job_id: state}."""
+    deadline = time.monotonic() + timeout_s
+    states = {}
+    for job_id in job_ids:
+        while True:
+            state = job_state(port, job_id)
+            if state in TERMINAL:
+                states[job_id] = state
+                break
+            if time.monotonic() > deadline:
+                fail(f"job {job_id} stuck in {state!r} after {timeout_s}s")
+            time.sleep(0.2)
+    return states
+
+
+def healthz(port: int) -> dict:
+    status, _headers, body = request(port, "GET", "/healthz")
+    if status != 200:
+        fail(f"healthz answered {status}")
+    if not body["conservation_ok"]:
+        fail(f"conservation violated: {body['queue']}")
+    return body
+
+
+def start_server(cache_dir: str, *extra: str) -> tuple:
+    """Launch ``repro serve``; returns (process, port)."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", cache_dir, *extra],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    # Recovery chatter (e.g. "corrupt cache entry ... discarding") may
+    # precede the listen line; scan a bounded number of lines for it.
+    lines = []
+    for _ in range(20):
+        line = server.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            return server, int(match.group(1))
+    server.kill()
+    fail(f"no listen announcement, got: {lines!r}")
+
+
+def stop_server(server, sig=signal.SIGTERM) -> None:
+    server.send_signal(sig)
+    try:
+        server.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        server.wait(timeout=10)
+        fail(f"server did not stop on {sig!r}")
+
+
+def descendants(pid: int) -> list[int]:
+    """Every live descendant process of ``pid``, via /proc (no psutil)."""
+    found: list[int] = []
+    stack = [pid]
+    while stack:
+        current = stack.pop()
+        task_dir = f"/proc/{current}/task"
+        try:
+            tasks = os.listdir(task_dir)
+        except OSError:
+            continue
+        for task in tasks:
+            try:
+                with open(f"{task_dir}/{task}/children") as handle:
+                    kids = [int(word) for word in handle.read().split()]
+            except (OSError, ValueError):
+                continue
+            for kid in kids:
+                found.append(kid)
+                stack.append(kid)
+    return found
+
+
+def assert_no_duplicate_points(port: int, job_id: str) -> None:
+    """Each point index lands exactly once, with a survivable outcome."""
+    points = [e for e in stream(port, job_id) if e.get("event") == "point"]
+    indices = [e["index"] for e in points]
+    if sorted(indices) != sorted(set(indices)):
+        fail(f"job {job_id} streamed duplicate point indices: {indices}")
+    bad = [e["outcome"] for e in points if e["outcome"] not in SURVIVABLE]
+    if bad:
+        fail(f"job {job_id} reported unsurvivable outcomes: {bad}")
+
+
+# -- phases ------------------------------------------------------------------
+
+def phase_worker_murder(cache_dir: str) -> None:
+    """Kill pool children mid-sweep; jobs must complete anyway."""
+    server, port = start_server(
+        cache_dir, "--no-cache", "--jobs", "2",
+        "--max-concurrent-jobs", "1", "--lease-s", "10")
+    try:
+        deaths = 0.0
+        for batch in range(3):
+            job_ids = [submit(port, sweep(seed=batch * 10 + i))
+                       for i in range(4)]
+            kills = 0
+            while kills < 6 and any(job_state(port, j) not in TERMINAL
+                                    for j in job_ids):
+                victims = descendants(server.pid)
+                if victims:
+                    try:
+                        os.kill(victims[-1], signal.SIGKILL)
+                        kills += 1
+                    except OSError:
+                        pass
+                time.sleep(0.25)
+            states = wait_terminal(port, job_ids)
+            not_completed = {j: s for j, s in states.items()
+                             if s != "completed"}
+            if not_completed:
+                fail(f"worker murder failed jobs: {not_completed}")
+            for job_id in job_ids:
+                assert_no_duplicate_points(port, job_id)
+            deaths = healthz(port)["eval"]["worker_deaths"]
+            print(f"  batch {batch}: {kills} kills, "
+                  f"{deaths:.0f} worker deaths observed, "
+                  f"{len(job_ids)} jobs completed")
+            if deaths:
+                break
+        if not deaths:
+            fail("killed pool children across 3 batches but the harness "
+                 "never observed a worker death")
+        health = healthz(port)
+        print(f"phase 1 ok: worker deaths {deaths:.0f}, rebuilds "
+              f"{health['eval']['pool_rebuilds']:.0f}, retried points "
+              f"{health['eval']['retried_points']:.0f}, lost-worker "
+              f"points {health['eval']['lost_worker_points']:.0f}")
+    finally:
+        stop_server(server)
+
+
+def phase_server_sigkill(cache_dir: str) -> None:
+    """SIGKILL the server mid-job; the next server must heal the queue."""
+    server, port = start_server(
+        cache_dir, "--no-cache", "--jobs", "2",
+        "--max-concurrent-jobs", "1", "--lease-s", "10")
+    victim = None
+    try:
+        job_ids = [submit(port, sweep(seed=100 + i)) for i in range(2)]
+        deadline = time.monotonic() + 60
+        while not any(job_state(port, j) == "running" for j in job_ids):
+            if time.monotonic() > deadline:
+                fail("no job reached running before the SIGKILL window")
+            time.sleep(0.1)
+        victim = next(j for j in job_ids
+                      if job_state(port, j) == "running")
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+    except BaseException:
+        stop_server(server, signal.SIGKILL)
+        raise
+    server, port = start_server(
+        cache_dir, "--no-cache", "--jobs", "2",
+        "--max-concurrent-jobs", "1", "--lease-s", "10")
+    try:
+        health = healthz(port)
+        if health["queue"]["replayed"] < 1:
+            fail(f"restart replayed nothing: {health['queue']}")
+        states = wait_terminal(port, job_ids)
+        if states[victim] != "completed":
+            fail(f"SIGKILLed-mid-flight job ended {states[victim]!r}")
+        events = stream(port, victim)
+        if not any(e.get("event") == "requeued" for e in events):
+            fail(f"replayed job {victim} has no requeued event")
+        healthz(port)
+        print(f"phase 2 ok: {health['queue']['replayed']} jobs replayed "
+              f"after kill -9, interrupted job completed")
+    finally:
+        stop_server(server)
+
+
+def phase_store_truncation(cache_dir: str) -> None:
+    """Corrupt a persisted job record; restart must shrug it off."""
+    records = sorted(Path(cache_dir).glob("jobs/*/*.pkl"))
+    if not records:
+        fail("no persisted job records to corrupt")
+    records[0].write_bytes(b"\x00 definitely not a pickle")
+    server, port = start_server(cache_dir, "--no-cache", "--jobs", "2",
+                                "--max-concurrent-jobs", "1")
+    try:
+        health = healthz(port)
+        if health["cache"]["corrupt"] < 1:
+            fail(f"corrupt record not counted: {health['cache']}")
+        status, _headers, body = request(port, "GET", "/jobs")
+        if status != 200:
+            fail(f"GET /jobs after corruption answered {status}")
+        job_id = submit(port, {"kind": "sweep",
+                               "workloads": ["micro-chain"], "lanes": 4,
+                               "seed": 200})
+        states = wait_terminal(port, [job_id])
+        if states[job_id] != "completed":
+            fail(f"post-corruption job ended {states[job_id]!r}")
+        print(f"phase 3 ok: corrupt job record discarded "
+              f"({health['cache']['corrupt']:.0f} counted), "
+              f"server kept serving")
+    finally:
+        stop_server(server)
+
+
+def phase_overload_burst(cache_dir: str) -> None:
+    """Burst past the queue cap; extras shed typed 503 + Retry-After."""
+    server, port = start_server(
+        cache_dir, "--no-cache", "--jobs", "2",
+        "--max-concurrent-jobs", "1", "--max-queued", "2",
+        "--max-backlog-per-tenant", "2")
+    try:
+        accepted, shed = [], 0
+        for index in range(8):
+            status, headers, body = request(port, "POST", "/jobs",
+                                            sweep(seed=300 + index))
+            if status == 201:
+                accepted.append(body["job"])
+            elif status == 503:
+                shed += 1
+                error = body["error"]
+                if error["code"] != "overloaded":
+                    fail(f"shed with wrong code: {error}")
+                retry_after = headers.get("retry-after")
+                if retry_after is None or int(retry_after) < 1:
+                    fail(f"503 without a usable Retry-After: {headers}")
+                if error.get("retry_after_s", 0) < 1:
+                    fail(f"503 body without retry_after_s: {error}")
+            else:
+                fail(f"burst submit answered {status}: {body}")
+        if not shed:
+            fail("burst of 8 past a 2-deep queue cap shed nothing")
+        if not accepted:
+            fail("overload shed everything, including in-budget jobs")
+        # Drain fast: cancel whatever is still queued, let the rest run.
+        for job_id in accepted[1:]:
+            request(port, "DELETE", f"/jobs/{job_id}")
+        states = wait_terminal(port, accepted)
+        health = healthz(port)
+        if health["serve"]["shed"] < shed:
+            fail(f"healthz undercounts sheds: {health['serve']}")
+        if health["queue"]["rejected"] < shed:
+            fail(f"sheds not in conservation: {health['queue']}")
+        print(f"phase 4 ok: {shed} submissions shed 503+Retry-After, "
+              f"{len(accepted)} accepted drained to {sorted(set(states.values()))}")
+    finally:
+        stop_server(server)
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-smoke-")
+    print(f"chaos smoke: store root {cache_dir}")
+    phase_worker_murder(cache_dir)
+    phase_server_sigkill(cache_dir)
+    phase_store_truncation(cache_dir)
+    phase_overload_burst(cache_dir)
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,6 +130,29 @@ def main() -> int:
             fail(f"unexpected queue counts: {health['queue']}")
         print(f"warm repeat cached; hit rate "
               f"{health['cache']['hit_rate']:.2f}, conservation ok")
+
+        # The self-healing counters must exist (and be quiet on a calm
+        # run); CI greps the printed names.
+        lease_names = ("lease_renewals", "lease_expired", "lease_requeued",
+                       "lease_failed", "lease_zombie", "shed", "gc_jobs")
+        for name in lease_names:
+            if name not in health["serve"]:
+                fail(f"healthz missing serve.{name}: "
+                     f"{sorted(health['serve'])}")
+        for name in ("lease_expired", "lease_requeued", "lease_failed",
+                     "shed"):
+            if health["serve"][name]:
+                fail(f"calm run counted serve.{name}="
+                     f"{health['serve'][name]}")
+        if "worker_deaths" not in health.get("eval", {}):
+            fail(f"healthz missing eval.worker_deaths: {health.get('eval')}")
+        if health["eval"]["worker_deaths"]:
+            fail(f"calm run counted eval.worker_deaths="
+                 f"{health['eval']['worker_deaths']}")
+        print("healthz counters: "
+              + " ".join(f"serve.{name}={health['serve'][name]:.0f}"
+                         for name in lease_names)
+              + f" eval.worker_deaths={health['eval']['worker_deaths']:.0f}")
     finally:
         # 4. Graceful stop.
         server.send_signal(signal.SIGTERM)
